@@ -1,0 +1,137 @@
+//! Experiment E7 — communication of the simultaneous protocols (Results 1 and
+//! 3, Remarks 5.2 and 5.8): total communication is Õ(nk) for the exact-coreset
+//! protocols and scales like nk/α² (matching) and nk/α (vertex cover) for the
+//! α-approximate variants.
+//!
+//! Regenerate with `cargo run --release -p bench --bin exp_communication`.
+
+use bench::table::fmt_f;
+use bench::{trial_seed, Table};
+use distsim::protocols::matching::{report_default_matching_protocol, report_subsampled_protocol};
+use distsim::protocols::vertex_cover::{report_default_vertex_cover_protocol, report_grouped_protocol};
+use graph::gen::bipartite::planted_matching_bipartite;
+use matching::maximum::maximum_matching;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vertexcover::approx::two_approx_cover;
+
+const EXP_ID: u64 = 7;
+
+fn main() {
+    println!("# E7 — communication of the simultaneous protocols (Results 1 & 3)\n");
+    println!("Paper claims: Õ(nk) total communication for the O(1)/O(log n) protocols;");
+    println!("Remark 5.2 gives an α-approximate matching protocol with Õ(nk/α²) words and");
+    println!("Remark 5.8 an α-approximate vertex-cover protocol with Õ(nk/α) words.\n");
+
+    let side = 6000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(EXP_ID, 0));
+    let (bg, _) = planted_matching_bipartite(side, 0.0008, &mut rng);
+    let g = bg.to_graph();
+    let n = g.n();
+    let matching_opt = maximum_matching(&g).len();
+    let cover_ref = two_approx_cover(&g).len().max(1);
+
+    // Part 1: scaling with k for the exact-coreset protocols.
+    let mut table_k = Table::new(
+        format!("E7a: total communication vs k (n = {n}, m = {})", g.m()),
+        &["k", "matching words", "matching words / nk", "matching ratio", "vc words", "vc words / nk", "vc ratio"],
+    );
+    for k in [4usize, 8, 16, 32, 64] {
+        let seed = trial_seed(EXP_ID, 10 + k as u64);
+        let mat = report_default_matching_protocol(&g, k, matching_opt, seed).expect("k >= 1");
+        let vc = report_default_vertex_cover_protocol(&g, k, cover_ref, seed).expect("k >= 1");
+        let nk = (n * k) as f64;
+        table_k.add_row(vec![
+            k.to_string(),
+            mat.communication.total_words().to_string(),
+            fmt_f(mat.communication.total_words() as f64 / nk),
+            fmt_f(mat.approximation_ratio),
+            vc.communication.total_words().to_string(),
+            fmt_f(vc.communication.total_words() as f64 / nk),
+            fmt_f(vc.approximation_ratio),
+        ]);
+    }
+    println!("{table_k}");
+    println!("Expected shape: both `words / nk` columns are bounded by a constant");
+    println!("(≈ 1 for matching because each message is a matching of ≤ n/2 edges).\n");
+
+    // Part 2: the α-tradeoffs of Remarks 5.2 and 5.8.
+    let k = 16usize;
+    let mut table_alpha = Table::new(
+        format!("E7b: α-approximation / communication trade-off at k = {k}"),
+        &[
+            "alpha",
+            "subsampled words",
+            "words x alpha^2 / nk",
+            "subsampled ratio",
+            "grouped vc words",
+            "words x alpha / (nk log n)",
+            "grouped vc ratio",
+        ],
+    );
+    for alpha in [2.0f64, 4.0, 8.0, 16.0] {
+        let seed = trial_seed(EXP_ID, 1000 + alpha as u64);
+        let sub = report_subsampled_protocol(&g, k, alpha, matching_opt, seed).expect("k >= 1");
+        let grouped = report_grouped_protocol(&g, k, alpha, cover_ref, seed).expect("k >= 1");
+        let nk = (n * k) as f64;
+        let log_n = (n as f64).log2();
+        table_alpha.add_row(vec![
+            fmt_f(alpha),
+            sub.communication.total_words().to_string(),
+            fmt_f(sub.communication.total_words() as f64 * alpha * alpha / nk),
+            fmt_f(sub.approximation_ratio),
+            grouped.communication.total_words().to_string(),
+            fmt_f(grouped.communication.total_words() as f64 * alpha / (nk * log_n)),
+            fmt_f(grouped.approximation_ratio),
+        ]);
+    }
+    println!("{table_alpha}");
+    println!("Expected shape: the normalised subsampled-words column stays roughly constant");
+    println!("as alpha grows (communication falls like 1/alpha^2) while its ratio grows at");
+    println!("most linearly with alpha. At this sparsity the grouped protocol's group size");
+    println!("is 1 for alpha <= log n, so its savings only appear in E7c below.\n");
+
+    // Part 3: Remark 5.8 on a *dense* input, where the peeling bound (rather
+    // than the raw piece size) limits the residual and grouping pays off.
+    let k_dense = 4usize;
+    let n_dense = 4000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(EXP_ID, 9999));
+    let dense = graph::gen::er::gnp(n_dense, 0.025, &mut rng);
+    let dense_cover_ref = two_approx_cover(&dense).len().max(1);
+    let dense_base =
+        report_default_vertex_cover_protocol(&dense, k_dense, dense_cover_ref, trial_seed(EXP_ID, 500))
+            .expect("k >= 1");
+
+    let mut table_dense = Table::new(
+        format!(
+            "E7c: Remark 5.8 on a dense input (n = {n_dense}, m = {}, k = {k_dense}); ungrouped peeling protocol uses {} words",
+            dense.m(),
+            dense_base.communication.total_words()
+        ),
+        &["alpha", "group size", "grouped words", "words / ungrouped words", "grouped vc ratio", "feasible"],
+    );
+    for alpha in [32.0f64, 64.0, 128.0, 256.0] {
+        let grouped = report_grouped_protocol(
+            &dense,
+            k_dense,
+            alpha,
+            dense_cover_ref,
+            trial_seed(EXP_ID, 600 + alpha as u64),
+        )
+        .expect("k >= 1");
+        let group_size = ((alpha / (n_dense as f64).log2()).floor() as usize).max(1);
+        table_dense.add_row(vec![
+            fmt_f(alpha),
+            group_size.to_string(),
+            grouped.communication.total_words().to_string(),
+            fmt_f(grouped.communication.total_words() as f64
+                / dense_base.communication.total_words() as f64),
+            fmt_f(grouped.approximation_ratio),
+            grouped.feasible.to_string(),
+        ]);
+    }
+    println!("{table_dense}");
+    println!("Expected shape: once alpha exceeds log n (group size > 1) the grouped words");
+    println!("drop well below the ungrouped protocol and keep shrinking roughly like 1/alpha,");
+    println!("while the cover stays feasible and within alpha of the reference.");
+}

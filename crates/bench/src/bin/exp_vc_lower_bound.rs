@@ -1,0 +1,87 @@
+//! Experiment E6 — the shape of the Ω(n/α) coreset-size lower bound for vertex
+//! cover (Theorem 4): on the hard distribution `D_VC`, capping the coreset
+//! size below the threshold makes the composed output miss the hidden edge
+//! `e*` (infeasible cover) with high probability.
+//!
+//! Regenerate with `cargo run --release -p bench --bin exp_vc_lower_bound`.
+
+use bench::table::fmt_f;
+use bench::{trial_seed, Table};
+use coresets::capped::cap_vc_coreset;
+use coresets::compose::compose_vertex_cover;
+use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
+use coresets::CoresetParams;
+use graph::gen::hard::d_vc;
+use graph::partition::EdgePartition;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const EXP_ID: u64 = 6;
+const TRIALS: u64 = 20;
+
+fn main() {
+    println!("# E6 — coreset-size lower bound for vertex cover (Theorem 4)\n");
+    println!("Paper claim: any α-approximate randomized coreset needs size Ω(n/α).");
+    println!("On D_VC(n, α, k) one machine holds a hidden edge e* indistinguishable from");
+    println!("its ~n/α degree-one edges; a coreset capped below n/α edges almost always");
+    println!("drops e*, so the composed 'cover' misses it (infeasible) unless it spends");
+    println!("Ω(n) extra vertices.\n");
+
+    let n = 4000usize;
+    let k = 8usize;
+
+    let mut table = Table::new(
+        format!("E6: D_VC(n={n}, alpha, k={k}), capped peeling coresets, {TRIALS} trials per row"),
+        &["alpha", "cap / (n/alpha)", "cap (items/machine)", "e* covered (fraction)", "mean cover size", "opt upper bound"],
+    );
+
+    for alpha in [4.0f64, 8.0] {
+        let threshold = (n as f64 / alpha).round() as usize;
+        for frac in [0.1f64, 0.25, 0.5, 1.0, 2.0] {
+            let cap = ((threshold as f64 * frac) as usize).max(1);
+            let mut covered = 0usize;
+            let mut cover_sizes = Vec::new();
+            let mut opt_ub = 0usize;
+            for t in 0..TRIALS {
+                let seed = trial_seed(EXP_ID, (alpha as u64) * 100_000 + (frac * 100.0) as u64 * 100 + t);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let inst = d_vc(n, alpha, k, &mut rng).expect("valid D_VC parameters");
+                let g = inst.graph.to_graph();
+                opt_ub = inst.vc_upper_bound();
+
+                let partition = EdgePartition::random(&g, k, &mut rng).expect("k >= 1");
+                let params = CoresetParams::new(g.n(), k);
+                let outputs: Vec<VcCoresetOutput> = partition
+                    .pieces()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, piece)| {
+                        let full = PeelingVcCoreset::new().build(piece, &params, i);
+                        cap_vc_coreset(&full, cap, &mut rng)
+                    })
+                    .collect();
+                let cover = compose_vertex_cover(&outputs);
+                cover_sizes.push(cover.len() as f64);
+
+                // Is the hidden edge covered? (Its right endpoint lives at
+                // offset left_n in the flattened graph.)
+                let (l, r) = inst.e_star;
+                let r_flat = inst.graph.left_n() as u32 + r;
+                if cover.contains(l) || cover.contains(r_flat) {
+                    covered += 1;
+                }
+            }
+            table.add_row(vec![
+                fmt_f(alpha),
+                fmt_f(frac),
+                cap.to_string(),
+                fmt_f(covered as f64 / TRIALS as f64),
+                fmt_f(bench::Summary::of(&cover_sizes).mean),
+                opt_ub.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("Expected shape: the covered fraction climbs towards 1 as the cap approaches");
+    println!("and passes n/alpha, and is close to the cap/(n/alpha) ratio below it.");
+}

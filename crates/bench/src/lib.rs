@@ -1,0 +1,36 @@
+//! Experiment harness shared by the `exp_*` binaries.
+//!
+//! Every experiment binary builds one or more [`Table`]s (markdown-formatted,
+//! so the output can be pasted directly into `EXPERIMENTS.md`), using the
+//! statistics helpers in [`stats`] to aggregate repeated trials under
+//! different seeds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod stats;
+pub mod table;
+
+pub use stats::Summary;
+pub use table::Table;
+
+/// The base seed all experiments derive their per-trial seeds from, so that
+/// every table in `EXPERIMENTS.md` is reproducible bit-for-bit.
+pub const BASE_SEED: u64 = 20170507; // SPAA 2017 submission era
+
+/// Derives the seed of trial `t` of experiment `exp`.
+pub fn trial_seed(exp: u64, t: u64) -> u64 {
+    BASE_SEED ^ (exp.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ t.wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_differ_across_trials_and_experiments() {
+        assert_ne!(trial_seed(1, 0), trial_seed(1, 1));
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0));
+        assert_eq!(trial_seed(3, 4), trial_seed(3, 4));
+    }
+}

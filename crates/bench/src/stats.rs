@@ -1,0 +1,66 @@
+//! Tiny statistics helpers for aggregating repeated trials.
+
+/// Mean / min / max / standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarises a slice of observations. Returns a zeroed summary for an
+    /// empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary { mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0, count: 0 };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary { mean, min, max, std_dev: variance.sqrt(), count }
+    }
+
+    /// Summarises an iterator of usize observations.
+    pub fn of_counts<I: IntoIterator<Item = usize>>(values: I) -> Self {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.count, 4);
+        assert!((s.std_dev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_counts() {
+        let s = Summary::of_counts([2usize, 4, 6]);
+        assert_eq!(s.mean, 4.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal markdown table builder used by the experiment binaries.
+
+use std::fmt;
+
+/// A markdown table with a caption, headers and string rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the number of cells must match the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}", self.caption)?;
+        writeln!(f)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let format_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = *w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        writeln!(f, "{}", format_row(&self.headers))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", format_row(&sep))?;
+        for row in &self.rows {
+            writeln!(f, "{}", format_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three significant decimals (table-friendly).
+pub fn fmt_f(x: f64) -> String {
+    if x.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_as_markdown() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        t.add_row(vec!["333".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.contains("### demo"));
+        assert!(s.contains("| a   | bbbb |"));
+        assert!(s.contains("| 333 | 4    |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_is_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456), "1.235");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+    }
+}

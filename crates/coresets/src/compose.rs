@@ -1,0 +1,130 @@
+//! Coordinator-side composition of coresets.
+//!
+//! The defining property of a composable coreset is that the final answer is
+//! obtained by running an (arbitrary) algorithm for the problem on the
+//! **union** of the coresets. This module implements exactly that step:
+//!
+//! * [`compose_matching`] — union the matching-coreset subgraphs.
+//! * [`solve_composed_matching`] — union + maximum matching of the union.
+//! * [`compose_vertex_cover`] — union the fixed vertex sets, union the
+//!   residual subgraphs, cover the residual union with a 2-approximation, and
+//!   return the combined cover (paper, Section 3.2).
+
+use crate::vc_coreset::VcCoresetOutput;
+use graph::Graph;
+use matching::matching::Matching;
+use matching::maximum::{maximum_matching_with, MaximumMatchingAlgorithm};
+use vertexcover::approx::two_approx_cover;
+use vertexcover::VertexCover;
+
+/// Unions matching-coreset subgraphs into the coordinator's composed graph.
+pub fn compose_matching(coresets: &[Graph]) -> Graph {
+    let refs: Vec<&Graph> = coresets.iter().collect();
+    Graph::union(&refs)
+}
+
+/// Unions the coresets and extracts a maximum matching of the union — the
+/// coordinator's full computation for the matching problem.
+pub fn solve_composed_matching(coresets: &[Graph], algorithm: MaximumMatchingAlgorithm) -> Matching {
+    let composed = compose_matching(coresets);
+    maximum_matching_with(&composed, algorithm)
+}
+
+/// Composes vertex-cover coresets: the union of all fixed vertices plus a
+/// 2-approximate vertex cover of the union of the residual subgraphs.
+pub fn compose_vertex_cover(outputs: &[VcCoresetOutput]) -> VertexCover {
+    if outputs.is_empty() {
+        return VertexCover::new();
+    }
+    let residuals: Vec<&Graph> = outputs.iter().map(|o| &o.residual).collect();
+    let union = Graph::union(&residuals);
+    let mut cover = two_approx_cover(&union);
+    for o in outputs {
+        for &v in &o.fixed_vertices {
+            cover.insert(v);
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
+    use crate::params::CoresetParams;
+    use crate::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder};
+    use graph::gen::er::gnp;
+    use graph::partition::EdgePartition;
+    use matching::maximum::maximum_matching;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn composed_matching_graph_has_at_most_k_times_n_over_2_edges() {
+        let mut r = rng(1);
+        let g = gnp(400, 0.02, &mut r);
+        let k = 6;
+        let part = EdgePartition::random(&g, k, &mut r).unwrap();
+        let params = CoresetParams::new(g.n(), k);
+        let coresets: Vec<Graph> = part
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .collect();
+        let composed = compose_matching(&coresets);
+        assert!(composed.m() <= k * g.n() / 2, "coreset union is O(nk)");
+        // Every composed edge is an original edge.
+        let orig: std::collections::HashSet<_> = g.edges().iter().collect();
+        assert!(composed.edges().iter().all(|e| orig.contains(e)));
+    }
+
+    #[test]
+    fn solving_the_composition_gives_a_valid_matching_of_the_original() {
+        let mut r = rng(2);
+        let g = gnp(500, 0.015, &mut r);
+        let k = 4;
+        let part = EdgePartition::random(&g, k, &mut r).unwrap();
+        let params = CoresetParams::new(g.n(), k);
+        let coresets: Vec<Graph> = part
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .collect();
+        let m = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
+        assert!(m.is_valid_for(&g));
+        // Theorem 1: constant-factor approximation (ratio <= 9 proven, much
+        // better in practice).
+        let opt = maximum_matching(&g).len();
+        assert!(9 * m.len() >= opt, "composed matching {} vs optimum {opt}", m.len());
+    }
+
+    #[test]
+    fn composed_cover_covers_the_original_graph() {
+        let mut r = rng(3);
+        let g = gnp(900, 0.01, &mut r);
+        let k = 5;
+        let part = EdgePartition::random(&g, k, &mut r).unwrap();
+        let params = CoresetParams::new(g.n(), k);
+        let outputs: Vec<VcCoresetOutput> = part
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i))
+            .collect();
+        let cover = compose_vertex_cover(&outputs);
+        assert!(cover.covers(&g));
+    }
+
+    #[test]
+    fn composing_nothing_yields_empty_results() {
+        assert!(compose_vertex_cover(&[]).is_empty());
+        let m = solve_composed_matching(&[Graph::empty(5)], MaximumMatchingAlgorithm::Auto);
+        assert!(m.is_empty());
+    }
+}

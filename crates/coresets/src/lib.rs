@@ -1,0 +1,76 @@
+//! # Randomized composable coresets for matching and vertex cover
+//!
+//! This crate is the reproduction of the core contribution of
+//! *Randomized Composable Coresets for Matching and Vertex Cover*
+//! (Assadi & Khanna, SPAA 2017):
+//!
+//! > When the edges of a graph are **randomly partitioned** across `k`
+//! > machines, (i) any **maximum matching** of a machine's subgraph is an
+//! > O(1)-approximation randomized composable coreset of size O(n) for
+//! > maximum matching (Theorem 1), and (ii) an iterative **peeling** process
+//! > yields an O(log n)-approximation randomized composable coreset of size
+//! > O(n log n) for minimum vertex cover (Theorem 2).
+//!
+//! ## Crate layout
+//!
+//! * [`params`] — shared coreset parameters (`n`, `k`, approximation target).
+//! * [`matching_coreset`] — the maximum-matching coreset (Theorem 1), the
+//!   arbitrary-maximal-matching negative control (Section 1.2), and the
+//!   subsampled α-approximation variant (Remark 5.2).
+//! * [`vc_coreset`] — the peeling coreset `VC-Coreset` (Theorem 2), the
+//!   local-minimum-vertex-cover negative control, and the vertex-grouping
+//!   α-approximation variant (Remark 5.8).
+//! * [`greedy_match`] — the `GreedyMatch` combining process used by the
+//!   analysis of Theorem 1 (Lemma 3.1/3.2), exposed so experiment E10 can
+//!   trace its per-step growth.
+//! * [`compose`] — coordinator-side composition: union the coresets and solve.
+//! * [`capped`] — size-capped coreset wrappers for the lower-bound
+//!   experiments (Theorems 3 and 4).
+//! * [`weighted`] — the Crouch–Stubbs weighted-matching extension.
+//! * [`pipeline`] — end-to-end convenience runners (random partition → build
+//!   coresets in parallel with rayon → compose), the API most examples use.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use coresets::pipeline::{DistributedMatching, DistributedVertexCover};
+//! use graph::gen::er::gnp;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let g = gnp(500, 0.02, &mut rng);
+//!
+//! // O(1)-approximate maximum matching from 8 machines' coresets.
+//! let result = DistributedMatching::new(8).run(&g, 7).unwrap();
+//! assert!(result.matching.is_valid_for(&g));
+//!
+//! // O(log n)-approximate vertex cover from the same model.
+//! let result = DistributedVertexCover::new(8).run(&g, 7).unwrap();
+//! assert!(result.cover.covers(&g));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capped;
+pub mod compose;
+pub mod greedy_match;
+pub mod matching_coreset;
+pub mod params;
+pub mod pipeline;
+pub mod vc_coreset;
+pub mod weighted;
+
+pub use capped::{cap_matching_coreset, cap_vc_coreset};
+pub use compose::{compose_matching, compose_vertex_cover, solve_composed_matching};
+pub use greedy_match::{greedy_match, GreedyMatchTrace};
+pub use matching_coreset::{
+    AvoidingMaximalMatchingCoreset, MatchingCoresetBuilder, MaximalMatchingCoreset,
+    MaximumMatchingCoreset, SubsampledMatchingCoreset,
+};
+pub use params::CoresetParams;
+pub use pipeline::{DistributedMatching, DistributedVertexCover, MatchingRunResult, VertexCoverRunResult};
+pub use vc_coreset::{
+    GroupedVcCoreset, LocalCoverCoreset, PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput,
+};

@@ -1,0 +1,94 @@
+//! Shared parameters of a coreset construction.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters every machine needs to build its coreset.
+///
+/// The matching coreset (Theorem 1) only needs the piece itself, but the
+/// vertex-cover coreset's peeling thresholds depend on the *global* number of
+/// vertices `n` and the number of machines `k`
+/// (`threshold_j = n / (k * 2^(j+1))`), so both are carried explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoresetParams {
+    /// Number of vertices of the *global* graph.
+    pub n: usize,
+    /// Number of machines in the random partition.
+    pub k: usize,
+}
+
+impl CoresetParams {
+    /// Creates parameters for a graph with `n` vertices split across `k`
+    /// machines.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "at least one machine is required");
+        CoresetParams { n, k }
+    }
+
+    /// The paper's peeling cut-off `Δ`: the smallest integer such that
+    /// `n / (k * 2^Δ) <= 4 log2 n` (Section 3.2, step 1 of `VC-Coreset`).
+    pub fn peeling_rounds(&self) -> u32 {
+        let n = self.n.max(2) as f64;
+        let k = self.k as f64;
+        let target = 4.0 * n.log2();
+        let mut delta = 0u32;
+        while n / (k * 2f64.powi(delta as i32)) > target && delta < 64 {
+            delta += 1;
+        }
+        delta
+    }
+
+    /// The peeling threshold of round `j` (1-based as in the paper):
+    /// `n / (k * 2^(j+1))`.
+    pub fn peeling_threshold(&self, j: u32) -> usize {
+        let denom = self.k as f64 * 2f64.powi(j as i32 + 1);
+        (self.n as f64 / denom).floor() as usize
+    }
+
+    /// The full threshold schedule for rounds `1 ..= Δ - 1`, matching the
+    /// loop `for j = 1 to Δ - 1` of `VC-Coreset`.
+    pub fn peeling_schedule(&self) -> Vec<usize> {
+        let delta = self.peeling_rounds();
+        (1..delta).map(|j| self.peeling_threshold(j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peeling_rounds_shrink_threshold_below_4_log_n() {
+        let p = CoresetParams::new(100_000, 10);
+        let delta = p.peeling_rounds();
+        let n = 100_000f64;
+        assert!(n / (10.0 * 2f64.powi(delta as i32)) <= 4.0 * n.log2());
+        if delta > 0 {
+            assert!(n / (10.0 * 2f64.powi(delta as i32 - 1)) > 4.0 * n.log2());
+        }
+    }
+
+    #[test]
+    fn thresholds_halve() {
+        let p = CoresetParams::new(4096, 4);
+        assert_eq!(p.peeling_threshold(1), 256); // 4096 / (4 * 4)
+        assert_eq!(p.peeling_threshold(2), 128);
+        assert_eq!(p.peeling_threshold(3), 64);
+        let schedule = p.peeling_schedule();
+        for w in schedule.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn small_graphs_have_no_peeling_rounds() {
+        // When n/k is already below 4 log n, Δ = 0 and the schedule is empty.
+        let p = CoresetParams::new(100, 10);
+        assert!(p.peeling_schedule().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let _ = CoresetParams::new(10, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Communication accounting.
+//!
+//! The paper states its bounds in bits; the simulator uses the natural
+//! machine-word cost model: an edge is two vertex ids, a vertex id is one
+//! word, and a word is `ceil(log2 n)` bits (reported as both words and bits).
+//! Only the *content* of the messages is charged — framing and headers are
+//! ignored, matching how communication complexity is measured.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model translating graph objects into words and bits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Number of bits needed to name one vertex (`ceil(log2 n)`, at least 1).
+    pub bits_per_vertex: u32,
+}
+
+impl CostModel {
+    /// Cost model for graphs with `n` vertices.
+    pub fn for_n(n: usize) -> Self {
+        // ceil(log2 n): ids in 0..n need (n-1).ilog2() + 1 bits for n >= 2.
+        let bits = (n.max(2) - 1).ilog2() + 1;
+        CostModel { bits_per_vertex: bits.max(1) }
+    }
+
+    /// Words (vertex ids) needed to send `edges` edges and `vertices` vertex ids.
+    pub fn words(&self, edges: usize, vertices: usize) -> u64 {
+        2 * edges as u64 + vertices as u64
+    }
+
+    /// Bits needed to send `edges` edges and `vertices` vertex ids.
+    pub fn bits(&self, edges: usize, vertices: usize) -> u64 {
+        self.words(edges, vertices) * self.bits_per_vertex as u64
+    }
+}
+
+/// Accumulated communication of one protocol run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommunicationCost {
+    /// Words sent by each machine (message content only).
+    pub per_machine_words: Vec<u64>,
+    /// Bits sent by each machine.
+    pub per_machine_bits: Vec<u64>,
+}
+
+impl CommunicationCost {
+    /// Records one machine's message consisting of `edges` edges and
+    /// `vertices` vertex ids under the given cost model.
+    pub fn record_message(&mut self, model: &CostModel, edges: usize, vertices: usize) {
+        self.per_machine_words.push(model.words(edges, vertices));
+        self.per_machine_bits.push(model.bits(edges, vertices));
+    }
+
+    /// Total words across machines.
+    pub fn total_words(&self) -> u64 {
+        self.per_machine_words.iter().sum()
+    }
+
+    /// Total bits across machines.
+    pub fn total_bits(&self) -> u64 {
+        self.per_machine_bits.iter().sum()
+    }
+
+    /// The largest single message, in words.
+    pub fn max_message_words(&self) -> u64 {
+        self.per_machine_words.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of messages recorded (= number of machines that sent one).
+    pub fn message_count(&self) -> usize {
+        self.per_machine_words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_bits_grow_with_n() {
+        let small = CostModel::for_n(16);
+        let large = CostModel::for_n(1 << 20);
+        assert!(small.bits_per_vertex < large.bits_per_vertex);
+        assert_eq!(CostModel::for_n(16).bits_per_vertex, 4);
+        assert_eq!(CostModel::for_n(17).bits_per_vertex, 5);
+    }
+
+    #[test]
+    fn words_and_bits_accounting() {
+        let model = CostModel::for_n(1024); // 10 bits per vertex
+        assert_eq!(model.bits_per_vertex, 10);
+        assert_eq!(model.words(3, 2), 8);
+        assert_eq!(model.bits(3, 2), 80);
+    }
+
+    #[test]
+    fn accumulation() {
+        let model = CostModel::for_n(256);
+        let mut cost = CommunicationCost::default();
+        cost.record_message(&model, 10, 0);
+        cost.record_message(&model, 0, 5);
+        cost.record_message(&model, 2, 2);
+        assert_eq!(cost.message_count(), 3);
+        assert_eq!(cost.total_words(), 20 + 5 + 6);
+        assert_eq!(cost.max_message_words(), 20);
+        assert_eq!(cost.total_bits(), 31 * 8);
+    }
+
+    #[test]
+    fn empty_cost_is_zero() {
+        let cost = CommunicationCost::default();
+        assert_eq!(cost.total_words(), 0);
+        assert_eq!(cost.max_message_words(), 0);
+        assert_eq!(cost.message_count(), 0);
+    }
+
+    #[test]
+    fn tiny_n_has_at_least_one_bit() {
+        assert!(CostModel::for_n(0).bits_per_vertex >= 1);
+        assert!(CostModel::for_n(1).bits_per_vertex >= 1);
+    }
+}

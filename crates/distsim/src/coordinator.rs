@@ -1,0 +1,196 @@
+//! The coordinator (simultaneous communication) model.
+//!
+//! A [`CoordinatorProtocol`] run proceeds exactly as in the paper's model
+//! (Section 2, "Communication Complexity"):
+//!
+//! 1. the edge set is **randomly partitioned** across `k` machines,
+//! 2. every machine simultaneously sends one message to the coordinator —
+//!    here, its coreset — with its size charged to the communication cost,
+//! 3. the coordinator combines the messages and outputs the answer; no
+//!    further interaction happens.
+//!
+//! Machines execute in parallel on rayon worker threads; all randomness is
+//! derived from an explicit seed so that runs are reproducible.
+
+use crate::comm::{CommunicationCost, CostModel};
+use coresets::matching_coreset::MatchingCoresetBuilder;
+use coresets::vc_coreset::{VcCoresetBuilder, VcCoresetOutput};
+use coresets::{compose_vertex_cover, solve_composed_matching, CoresetParams};
+use graph::partition::{EdgePartition, PartitionStrategy};
+use graph::{Graph, GraphError};
+use matching::matching::Matching;
+use matching::maximum::MaximumMatchingAlgorithm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use vertexcover::VertexCover;
+
+/// Configuration of one simultaneous-protocol run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorProtocol {
+    /// Number of machines `k`.
+    pub k: usize,
+    /// How the edges are split across machines (the paper's model is
+    /// [`PartitionStrategy::Random`]; the adversarial strategy is provided for
+    /// the negative-control experiments).
+    pub strategy: PartitionStrategy,
+}
+
+impl CoordinatorProtocol {
+    /// The paper's model: random partitioning across `k` machines.
+    pub fn random(k: usize) -> Self {
+        CoordinatorProtocol { k, strategy: PartitionStrategy::Random }
+    }
+
+    /// Adversarial (sorted-chunk) partitioning across `k` machines.
+    pub fn adversarial(k: usize) -> Self {
+        CoordinatorProtocol { k, strategy: PartitionStrategy::Adversarial }
+    }
+
+    /// Runs the matching protocol: each machine sends the coreset built by
+    /// `builder`, the coordinator extracts a maximum matching of the union.
+    pub fn run_matching<B: MatchingCoresetBuilder>(
+        &self,
+        g: &Graph,
+        builder: &B,
+        seed: u64,
+    ) -> Result<SimultaneousRun<Matching>, GraphError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partition = EdgePartition::new(g, self.k, self.strategy, &mut rng)?;
+        let params = CoresetParams::new(g.n(), self.k);
+        let model = CostModel::for_n(g.n());
+
+        let coresets: Vec<Graph> = partition
+            .pieces()
+            .par_iter()
+            .enumerate()
+            .map(|(i, piece)| builder.build(piece, &params, i))
+            .collect();
+
+        let mut communication = CommunicationCost::default();
+        for c in &coresets {
+            communication.record_message(&model, c.m(), 0);
+        }
+        let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
+        Ok(SimultaneousRun { answer, communication, piece_sizes: partition.pieces().iter().map(Graph::m).collect() })
+    }
+
+    /// Runs the vertex-cover protocol: each machine sends the coreset built by
+    /// `builder` (fixed vertices + residual edges), the coordinator unions the
+    /// residuals, 2-approximates a cover of the union, and adds the fixed
+    /// vertices.
+    pub fn run_vertex_cover<B: VcCoresetBuilder>(
+        &self,
+        g: &Graph,
+        builder: &B,
+        seed: u64,
+    ) -> Result<SimultaneousRun<VertexCover>, GraphError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partition = EdgePartition::new(g, self.k, self.strategy, &mut rng)?;
+        let params = CoresetParams::new(g.n(), self.k);
+        let model = CostModel::for_n(g.n());
+
+        let outputs: Vec<VcCoresetOutput> = partition
+            .pieces()
+            .par_iter()
+            .enumerate()
+            .map(|(i, piece)| builder.build(piece, &params, i))
+            .collect();
+
+        let mut communication = CommunicationCost::default();
+        for o in &outputs {
+            communication.record_message(&model, o.residual.m(), o.fixed_vertices.len());
+        }
+        let answer = compose_vertex_cover(&outputs);
+        Ok(SimultaneousRun { answer, communication, piece_sizes: partition.pieces().iter().map(Graph::m).collect() })
+    }
+}
+
+/// The result of one simultaneous-protocol run.
+#[derive(Debug, Clone)]
+pub struct SimultaneousRun<T> {
+    /// The coordinator's answer (a matching or a vertex cover).
+    pub answer: T,
+    /// Communication charged to the machines' messages.
+    pub communication: CommunicationCost,
+    /// Number of edges each machine received (the input partition sizes).
+    pub piece_sizes: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coresets::matching_coreset::MaximumMatchingCoreset;
+    use coresets::vc_coreset::PeelingVcCoreset;
+    use graph::gen::er::gnp;
+    use matching::maximum::maximum_matching;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn matching_protocol_communication_is_o_of_nk() {
+        let mut r = rng(1);
+        let n = 600;
+        let g = gnp(n, 0.02, &mut r);
+        let k = 6;
+        let run = CoordinatorProtocol::random(k)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 42)
+            .unwrap();
+        assert!(run.answer.is_valid_for(&g));
+        // Each message is a matching: at most n/2 edges = n words.
+        assert!(run.communication.max_message_words() <= n as u64);
+        assert!(run.communication.total_words() <= (n * k) as u64);
+        assert_eq!(run.communication.message_count(), k);
+        // Approximation guarantee of Theorem 1.
+        let opt = maximum_matching(&g).len();
+        assert!(9 * run.answer.len() >= opt);
+    }
+
+    #[test]
+    fn vertex_cover_protocol_covers_and_accounts() {
+        let mut r = rng(2);
+        let n = 800;
+        let g = gnp(n, 0.015, &mut r);
+        let k = 5;
+        let run = CoordinatorProtocol::random(k)
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), 7)
+            .unwrap();
+        assert!(run.answer.covers(&g));
+        assert_eq!(run.communication.message_count(), k);
+        assert!(run.communication.total_words() > 0);
+        assert_eq!(run.piece_sizes.iter().sum::<usize>(), g.m());
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let mut r = rng(3);
+        let g = gnp(300, 0.03, &mut r);
+        let p = CoordinatorProtocol::random(4);
+        let a = p.run_matching(&g, &MaximumMatchingCoreset::new(), 11).unwrap();
+        let b = p.run_matching(&g, &MaximumMatchingCoreset::new(), 11).unwrap();
+        assert_eq!(a.answer.len(), b.answer.len());
+        assert_eq!(a.communication, b.communication);
+    }
+
+    #[test]
+    fn adversarial_strategy_is_supported() {
+        let mut r = rng(4);
+        let g = gnp(200, 0.05, &mut r);
+        let run = CoordinatorProtocol::adversarial(4)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 1)
+            .unwrap();
+        assert!(run.answer.is_valid_for(&g));
+    }
+
+    #[test]
+    fn zero_machines_is_rejected() {
+        let g = gnp(50, 0.1, &mut rng(5));
+        assert!(CoordinatorProtocol::random(0)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 0)
+            .is_err());
+    }
+}

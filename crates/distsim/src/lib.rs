@@ -1,0 +1,36 @@
+//! Distributed-computation simulators for the coreset reproduction.
+//!
+//! The paper evaluates its coresets in two computation models, neither of
+//! which requires real hardware to measure the quantities the paper talks
+//! about (approximation ratio, communication volume, number of rounds, and
+//! per-machine memory). This crate simulates both models faithfully:
+//!
+//! * [`coordinator`] — the **simultaneous communication / coordinator model**:
+//!   the input is randomly partitioned across `k` machines, every machine
+//!   sends one message (its coreset) to the coordinator, and the coordinator
+//!   outputs the answer. Communication is accounted in 64-bit words
+//!   ([`comm`]).
+//! * [`mapreduce`] — the **MapReduce model** of Karloff et al. as used by the
+//!   paper (Section 1.1, "MapReduce Framework"): machines with `Õ(n√n)`
+//!   memory, computation proceeds in rounds, and the paper's algorithm needs
+//!   two rounds (one if the input is already randomly distributed).
+//! * [`protocols`] — concrete protocols: the paper's coreset protocols for
+//!   matching and vertex cover, the communication-efficient variants of
+//!   Remarks 5.2 and 5.8, and the *filtering* baseline of Lattanzi et al.
+//!   (the prior state of the art the paper compares rounds against).
+//! * [`report`] — serde-serialisable run reports consumed by the experiment
+//!   binaries in the `bench` crate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod coordinator;
+pub mod mapreduce;
+pub mod protocols;
+pub mod report;
+
+pub use comm::{CommunicationCost, CostModel};
+pub use coordinator::{CoordinatorProtocol, SimultaneousRun};
+pub use mapreduce::{MapReduceConfig, MapReduceOutcome, MapReduceSimulator};
+pub use report::{MatchingProtocolReport, VertexCoverProtocolReport};

@@ -1,0 +1,188 @@
+//! The *filtering* MapReduce baseline (Lattanzi, Moseley, Suri,
+//! Vassilvitskii, SPAA 2011 — reference [46] of the paper).
+//!
+//! The paper compares the round complexity of its coreset algorithm (2 rounds,
+//! or 1 if the input is pre-randomized) against filtering, which achieves a
+//! 2-approximation for both problems but needs at least 3 MapReduce rounds
+//! with `Õ(n^{5/3})` memory and 6 rounds at `Õ(n√n)` memory.
+//!
+//! Filtering computes a **maximal matching** iteratively:
+//!
+//! 1. sample every remaining edge independently so that the sample fits in one
+//!    machine's memory,
+//! 2. compute a maximal matching of the sample on that machine,
+//! 3. drop every remaining edge with a matched endpoint,
+//! 4. repeat until the remaining edges fit in memory, then finish exactly.
+//!
+//! Each iteration costs two MapReduce rounds (one to collect the sample on the
+//! central machine, one to broadcast the matched vertices and filter), and the
+//! final exact step costs one more; this is the round-counting convention used
+//! in the experiment tables and documented in `EXPERIMENTS.md`.
+//!
+//! The maximal matching is a 1/2-approximate maximum matching, and both
+//! endpoint sets form a 2-approximate vertex cover.
+
+use graph::{Graph, VertexId};
+use matching::greedy::maximal_matching;
+use matching::matching::Matching;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vertexcover::VertexCover;
+
+/// Outcome of a filtering run.
+#[derive(Debug, Clone)]
+pub struct FilteringOutcome {
+    /// The maximal matching computed by filtering.
+    pub matching: Matching,
+    /// Number of MapReduce rounds used (2 per sampling iteration + 1 final).
+    pub rounds: usize,
+    /// Number of sampling iterations performed.
+    pub iterations: usize,
+    /// The largest sample size (in edges) ever held by the central machine.
+    pub max_sample_edges: usize,
+}
+
+impl FilteringOutcome {
+    /// The 2-approximate vertex cover induced by the maximal matching (both
+    /// endpoints of every matched edge).
+    pub fn vertex_cover(&self) -> VertexCover {
+        let mut cover = VertexCover::new();
+        for e in self.matching.edges() {
+            cover.insert(e.u);
+            cover.insert(e.v);
+        }
+        cover
+    }
+}
+
+/// Runs the filtering algorithm for maximal matching with a per-machine
+/// memory budget of `memory_edges` edges.
+///
+/// # Panics
+///
+/// Panics if `memory_edges == 0`.
+pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> FilteringOutcome {
+    assert!(memory_edges > 0, "memory budget must allow at least one edge");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut matched = vec![false; g.n()];
+    let mut matching = Matching::new();
+    let mut remaining: Vec<graph::Edge> = g.edges().to_vec();
+    let mut iterations = 0usize;
+    let mut rounds = 0usize;
+    let mut max_sample_edges = 0usize;
+
+    while remaining.len() > memory_edges {
+        iterations += 1;
+        rounds += 2; // one round to sample centrally, one to filter
+
+        // Sample so the expected sample size is half the memory budget.
+        let p = (memory_edges as f64 / (2.0 * remaining.len() as f64)).min(1.0);
+        let sample: Vec<graph::Edge> =
+            remaining.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+        max_sample_edges = max_sample_edges.max(sample.len());
+
+        // Maximal matching of the sample on the central machine.
+        let sample_graph = Graph::from_edges(g.n(), sample).expect("sampled edges come from g");
+        let local = maximal_matching(&sample_graph);
+        for e in local.edges() {
+            matching.try_add(*e, &mut matched);
+        }
+
+        // Filter: drop edges with a matched endpoint.
+        remaining.retain(|e| !matched[e.u as usize] && !matched[e.v as usize]);
+
+        // Safety valve: if sampling made no progress (tiny graphs, unlucky
+        // draws), force progress by processing a memory-sized prefix exactly.
+        if local.is_empty() && remaining.len() > memory_edges {
+            let prefix: Vec<graph::Edge> = remaining.iter().copied().take(memory_edges).collect();
+            let prefix_graph = Graph::from_edges(g.n(), prefix).expect("prefix edges come from g");
+            for e in maximal_matching(&prefix_graph).edges() {
+                matching.try_add(*e, &mut matched);
+            }
+            remaining.retain(|e| !matched[e.u as usize] && !matched[e.v as usize]);
+        }
+    }
+
+    // Final round: the leftovers fit in memory; finish exactly.
+    rounds += 1;
+    max_sample_edges = max_sample_edges.max(remaining.len());
+    let rest = Graph::from_edges(g.n(), remaining).expect("remaining edges come from g");
+    for e in maximal_matching(&rest).edges() {
+        matching.try_add(*e, &mut matched);
+    }
+
+    FilteringOutcome { matching, rounds, iterations, max_sample_edges }
+}
+
+/// Runs filtering and returns its 2-approximate vertex cover together with the
+/// outcome metadata.
+pub fn filtering_vertex_cover(g: &Graph, memory_edges: usize, seed: u64) -> (VertexCover, FilteringOutcome) {
+    let outcome = filtering_matching(g, memory_edges, seed);
+    (outcome.vertex_cover(), outcome)
+}
+
+/// Returns the vertices matched by a matching (helper shared by tests).
+pub fn matched_vertices(m: &Matching) -> Vec<VertexId> {
+    let mut v: Vec<VertexId> = m.matched_vertices().into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen::er::gnm;
+    use matching::maximum::maximum_matching;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn filtering_outputs_a_maximal_matching() {
+        let g = gnm(300, 5_000, &mut rng(1));
+        let out = filtering_matching(&g, 500, 7);
+        assert!(out.matching.is_valid_for(&g));
+        assert!(out.matching.is_maximal_in(&g), "filtering must end with a maximal matching");
+        // Maximal => 1/2-approximation.
+        let opt = maximum_matching(&g).len();
+        assert!(2 * out.matching.len() >= opt);
+        // Memory budget respected by every sample.
+        assert!(out.max_sample_edges <= 500 + 200, "sample overshoot: {}", out.max_sample_edges);
+    }
+
+    #[test]
+    fn filtering_needs_multiple_rounds_under_tight_memory() {
+        let g = gnm(400, 12_000, &mut rng(2));
+        let out = filtering_matching(&g, 1_000, 3);
+        assert!(out.iterations >= 1);
+        assert!(out.rounds >= 3, "filtering uses at least 3 rounds when the input exceeds memory");
+    }
+
+    #[test]
+    fn filtering_single_round_when_everything_fits() {
+        let g = gnm(100, 300, &mut rng(3));
+        let out = filtering_matching(&g, 10_000, 1);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.rounds, 1);
+        assert!(out.matching.is_maximal_in(&g));
+    }
+
+    #[test]
+    fn filtering_cover_is_valid_and_2_approx_shaped() {
+        let g = gnm(300, 4_000, &mut rng(4));
+        let (cover, outcome) = filtering_vertex_cover(&g, 800, 11);
+        assert!(cover.covers(&g));
+        assert_eq!(cover.len(), 2 * outcome.matching.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget")]
+    fn zero_memory_rejected() {
+        let g = gnm(10, 20, &mut rng(5));
+        let _ = filtering_matching(&g, 0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Compressed sparse row (CSR) representation.
+//!
+//! The matching and peeling algorithms traverse neighbourhoods many times;
+//! a CSR layout keeps all neighbour lists in one contiguous allocation which
+//! is friendlier to the cache than `Vec<Vec<u32>>` (see the Rust Performance
+//! Book's guidance on heap allocations and memory locality).
+
+use crate::edge::VertexId;
+use crate::graph::Graph;
+
+/// Compressed sparse row adjacency structure for an undirected graph.
+///
+/// For each vertex `v`, its neighbours are
+/// `targets[offsets[v] .. offsets[v + 1]]`, sorted in increasing order.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds the CSR view of a graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.n();
+        let mut deg = vec![0u32; n];
+        for e in g.edges() {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; 2 * g.m()];
+        for e in g.edges() {
+            targets[cursor[e.u as usize] as usize] = e.v;
+            cursor[e.u as usize] += 1;
+            targets[cursor[e.v as usize] as usize] = e.u;
+            cursor[e.v as usize] += 1;
+        }
+        // Sort each neighbourhood for deterministic traversal and binary search.
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbours of `v`, sorted.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Returns `true` if `(a, b)` is an edge.
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates over all vertices with non-zero degree.
+    pub fn non_isolated(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n() as VertexId).filter(move |&v| self.degree(v) > 0)
+    }
+}
+
+impl From<&Graph> for Csr {
+    fn from(g: &Graph) -> Self {
+        Csr::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = Graph::from_pairs(5, vec![(0, 1), (0, 2), (1, 2), (3, 4)]).unwrap();
+        let csr = Csr::from_graph(&g);
+        let adj = g.adjacency();
+        assert_eq!(csr.n(), 5);
+        assert_eq!(csr.m(), 4);
+        for v in 0..5u32 {
+            assert_eq!(csr.neighbors(v), adj.neighbors(v), "vertex {v}");
+            assert_eq!(csr.degree(v), adj.degree(v));
+        }
+        assert!(csr.has_edge(0, 2));
+        assert!(!csr.has_edge(0, 4));
+    }
+
+    #[test]
+    fn csr_of_empty_graph() {
+        let g = Graph::empty(3);
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.n(), 3);
+        assert_eq!(csr.m(), 0);
+        assert!(csr.neighbors(1).is_empty());
+        assert_eq!(csr.non_isolated().count(), 0);
+    }
+
+    #[test]
+    fn non_isolated_iteration() {
+        let g = Graph::from_pairs(6, vec![(1, 4)]).unwrap();
+        let csr = Csr::from_graph(&g);
+        let v: Vec<_> = csr.non_isolated().collect();
+        assert_eq!(v, vec![1, 4]);
+    }
+
+    #[test]
+    fn from_ref_conversion() {
+        let g = Graph::from_pairs(2, vec![(0, 1)]).unwrap();
+        let csr: Csr = (&g).into();
+        assert_eq!(csr.m(), 1);
+    }
+}

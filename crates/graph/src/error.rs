@@ -1,0 +1,106 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the matching/vertex-cover model of
+    /// the paper is defined on simple graphs.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: u32,
+    },
+    /// A bipartite edge referenced a left vertex outside `0..left_n`.
+    LeftVertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of left vertices.
+        left_n: usize,
+    },
+    /// A bipartite edge referenced a right vertex outside `0..right_n`.
+    RightVertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of right vertices.
+        right_n: usize,
+    },
+    /// The number of machines `k` must be at least one.
+    InvalidMachineCount {
+        /// The requested number of machines.
+        k: usize,
+    },
+    /// A generator received parameters it cannot satisfy
+    /// (for example a probability outside `[0, 1]`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::LeftVertexOutOfRange { vertex, left_n } => {
+                write!(f, "left vertex {vertex} out of range (left side has {left_n} vertices)")
+            }
+            GraphError::RightVertexOutOfRange { vertex, right_n } => {
+                write!(f, "right vertex {vertex} out of range (right side has {right_n} vertices)")
+            }
+            GraphError::InvalidMachineCount { k } => {
+                write!(f, "number of machines k={k} must be at least 1")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_quantities() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::InvalidMachineCount { k: 0 };
+        assert!(e.to_string().contains("k=0"));
+
+        let e = GraphError::InvalidParameter { reason: "p must be in [0,1]".into() };
+        assert!(e.to_string().contains("p must be in [0,1]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 1 }
+        );
+        assert_ne!(
+            GraphError::SelfLoop { vertex: 1 },
+            GraphError::SelfLoop { vertex: 2 }
+        );
+    }
+}

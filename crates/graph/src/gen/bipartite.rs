@@ -1,0 +1,205 @@
+//! Random bipartite graph generators.
+
+use crate::bipartite::BipartiteGraph;
+use crate::edge::VertexId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples a random bipartite graph `G(left_n, right_n, p)`: every left/right
+/// pair becomes an edge independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn random_bipartite<R: Rng + ?Sized>(
+    left_n: usize,
+    right_n: usize,
+    p: f64,
+    rng: &mut R,
+) -> BipartiteGraph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    if left_n == 0 || right_n == 0 || p == 0.0 {
+        return BipartiteGraph::empty(left_n, right_n);
+    }
+    let mut edges = Vec::new();
+    if p >= 1.0 {
+        for l in 0..left_n as VertexId {
+            for r in 0..right_n as VertexId {
+                edges.push((l, r));
+            }
+        }
+        return BipartiteGraph::from_pairs_unchecked(left_n, right_n, edges);
+    }
+    // Geometric skip sampling over the left_n * right_n grid.
+    let log_q = (1.0 - p).ln();
+    let total = left_n as u64 * right_n as u64;
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let l = (idx / right_n as u64) as VertexId;
+        let rr = (idx % right_n as u64) as VertexId;
+        edges.push((l, rr));
+        idx += 1;
+    }
+    BipartiteGraph::from_pairs_unchecked(left_n, right_n, edges)
+}
+
+/// Samples a near `d`-regular bipartite graph on `n + n` vertices: every left
+/// vertex picks `d` distinct random right neighbours (so left degrees are
+/// exactly `d`; right degrees concentrate around `d`).
+///
+/// This matches the structure of the `G_1` part of the matching lower-bound
+/// distribution, which is a "random k-regular graph" on `n/2α + n/2α`
+/// vertices (paper, Section 1.2).
+///
+/// # Panics
+///
+/// Panics if `d > n`.
+pub fn near_regular_bipartite<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> BipartiteGraph {
+    assert!(d <= n, "degree {d} cannot exceed the number of right vertices {n}");
+    let mut edges = Vec::with_capacity(n * d);
+    let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
+    for l in 0..n as VertexId {
+        // Partial Fisher-Yates: pick d distinct right vertices.
+        for i in 0..d {
+            let j = rng.gen_range(i..n);
+            pool.swap(i, j);
+            edges.push((l, pool[i]));
+        }
+    }
+    BipartiteGraph::from_pairs_unchecked(n, n, edges)
+}
+
+/// Builds a bipartite graph that contains a planted perfect matching
+/// (left `i` — right `perm[i]`) plus `G(n, n, p)` noise edges.
+/// Returns the graph and the planted matching as `(left, right)` pairs.
+///
+/// The planted matching certifies that the maximum matching size is exactly
+/// `n`, which gives the experiments an exact optimum without running an exact
+/// solver on large instances.
+pub fn planted_matching_bipartite<R: Rng + ?Sized>(
+    n: usize,
+    noise_p: f64,
+    rng: &mut R,
+) -> (BipartiteGraph, Vec<(VertexId, VertexId)>) {
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(rng);
+    let planted: Vec<(VertexId, VertexId)> =
+        (0..n as VertexId).map(|l| (l, perm[l as usize])).collect();
+
+    let noise = random_bipartite(n, n, noise_p, rng);
+    let mut edges: Vec<(VertexId, VertexId)> = noise.edges().to_vec();
+    edges.extend_from_slice(&planted);
+    // Deduplicate (a noise edge may coincide with a planted edge).
+    edges.sort_unstable();
+    edges.dedup();
+    (BipartiteGraph::from_pairs_unchecked(n, n, edges), planted)
+}
+
+/// Builds a random perfect matching between `size` left vertices drawn from
+/// `0..left_n` and `size` right vertices drawn from `0..right_n`, avoiding the
+/// given excluded sets. Returns the matching edges.
+///
+/// Used by the hard-instance generators, which need "a random perfect matching
+/// between `A-bar` and `B-bar`".
+pub fn random_matching_between<R: Rng + ?Sized>(
+    left_pool: &[VertexId],
+    right_pool: &[VertexId],
+    size: usize,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    assert!(size <= left_pool.len() && size <= right_pool.len());
+    let mut left: Vec<VertexId> = left_pool.to_vec();
+    let mut right: Vec<VertexId> = right_pool.to_vec();
+    left.shuffle(rng);
+    right.shuffle(rng);
+    left.truncate(size);
+    right.truncate(size);
+    left.into_iter().zip(right).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_bipartite_counts_concentrate() {
+        let g = random_bipartite(200, 300, 0.02, &mut rng(1));
+        let expected = 0.02 * 200.0 * 300.0;
+        let ratio = g.m() as f64 / expected;
+        assert!(ratio > 0.8 && ratio < 1.2, "m = {}", g.m());
+    }
+
+    #[test]
+    fn random_bipartite_extremes() {
+        assert_eq!(random_bipartite(5, 5, 0.0, &mut rng(2)).m(), 0);
+        assert_eq!(random_bipartite(5, 4, 1.0, &mut rng(2)).m(), 20);
+        assert_eq!(random_bipartite(0, 5, 0.7, &mut rng(2)).m(), 0);
+    }
+
+    #[test]
+    fn near_regular_has_exact_left_degrees() {
+        let g = near_regular_bipartite(50, 7, &mut rng(3));
+        assert_eq!(g.m(), 50 * 7);
+        for d in g.left_degrees() {
+            assert_eq!(d, 7);
+        }
+        // Right degrees concentrate around 7: allow a generous band.
+        for d in g.right_degrees() {
+            assert!(d <= 25, "right degree {d} suspiciously high");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn near_regular_rejects_degree_above_n() {
+        let _ = near_regular_bipartite(5, 6, &mut rng(4));
+    }
+
+    #[test]
+    fn planted_matching_is_contained_and_perfect() {
+        let (g, planted) = planted_matching_bipartite(80, 0.01, &mut rng(5));
+        assert_eq!(planted.len(), 80);
+        let edge_set: std::collections::HashSet<_> = g.edges().iter().copied().collect();
+        for &(l, r) in &planted {
+            assert!(edge_set.contains(&(l, r)), "planted edge ({l},{r}) missing");
+        }
+        // The planted matching is a perfect matching: left and right endpoints all distinct.
+        let lefts: std::collections::HashSet<_> = planted.iter().map(|&(l, _)| l).collect();
+        let rights: std::collections::HashSet<_> = planted.iter().map(|&(_, r)| r).collect();
+        assert_eq!(lefts.len(), 80);
+        assert_eq!(rights.len(), 80);
+    }
+
+    #[test]
+    fn random_matching_between_is_a_matching() {
+        let left: Vec<u32> = (0..30).collect();
+        let right: Vec<u32> = (100..130).collect();
+        let m = random_matching_between(&left, &right, 20, &mut rng(6));
+        assert_eq!(m.len(), 20);
+        let l: std::collections::HashSet<_> = m.iter().map(|&(a, _)| a).collect();
+        let r: std::collections::HashSet<_> = m.iter().map(|&(_, b)| b).collect();
+        assert_eq!(l.len(), 20);
+        assert_eq!(r.len(), 20);
+        assert!(l.iter().all(|x| *x < 30));
+        assert!(r.iter().all(|x| (100..130).contains(x)));
+    }
+
+    #[test]
+    fn generators_are_seed_reproducible() {
+        let a = random_bipartite(40, 40, 0.1, &mut rng(9));
+        let b = random_bipartite(40, 40, 0.1, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Erdős–Rényi random graphs.
+
+use crate::edge::Edge;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples `G(n, p)`: every unordered pair becomes an edge independently with
+/// probability `p`.
+///
+/// Uses the geometric "skip" sampling technique so that the running time is
+/// `O(n + m)` rather than `O(n^2)` when `p` is small, which matters for the
+/// large-n experiments.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    if n < 2 || p == 0.0 {
+        return Graph::empty(n);
+    }
+    if p >= 1.0 {
+        return complete_graph(n);
+    }
+
+    // Iterate over the pairs (u, v), u < v, in lexicographic order and skip
+    // ahead geometrically.
+    let mut edges = Vec::new();
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / log_q).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total_pairs {
+            break;
+        }
+        let (u, v) = pair_from_index(idx, n as u64);
+        edges.push(Edge::new(u as u32, v as u32));
+        idx += 1;
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Samples `G(n, m)`: a graph with exactly `m` distinct edges chosen uniformly
+/// at random among all simple graphs with `m` edges (rejection sampling for
+/// sparse graphs, shuffled enumeration for dense ones).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of available pairs `n(n-1)/2`.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let total_pairs = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    assert!(m <= total_pairs, "requested {m} edges but only {total_pairs} pairs exist");
+    if m == 0 {
+        return Graph::empty(n);
+    }
+
+    if m * 3 > total_pairs {
+        // Dense: enumerate all pairs, shuffle, take the first m.
+        let mut pairs: Vec<Edge> = Vec::with_capacity(total_pairs);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                pairs.push(Edge::new(u, v));
+            }
+        }
+        pairs.shuffle(rng);
+        pairs.truncate(m);
+        return Graph::from_edges_unchecked(n, pairs);
+    }
+
+    // Sparse: rejection-sample distinct pairs.
+    let mut seen = HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+fn complete_graph(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding pair `(u, v)`,
+/// `u < v`, in lexicographic order.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u contains (n - 1 - u) pairs. Find the row by walking; rows shrink
+    // so an O(sqrt) closed form exists, but a loop with cumulative counts is
+    // simpler and still O(n) total across the generator because idx increases.
+    // For performance we solve the quadratic directly.
+    // Pairs before row u: S(u) = u*n - u - u*(u-1)/2.
+    // We need the largest u with S(u) <= idx.
+    let idx_f = idx as f64;
+    let n_f = n as f64;
+    // Solve u^2 - (2n - 1)u + 2*idx >= 0 boundary.
+    let estimate = (2.0 * n_f - 1.0 - ((2.0 * n_f - 1.0).powi(2) - 8.0 * idx_f).max(0.0).sqrt()) / 2.0;
+    let mut u = (estimate.floor().max(0.0) as u64).min(n.saturating_sub(2));
+    // Guard against floating-point rounding by adjusting locally.
+    loop {
+        let before = pairs_before_row(u, n);
+        if before > idx {
+            u = u.saturating_sub(1);
+            continue;
+        }
+        let next = pairs_before_row(u + 1, n);
+        if idx >= next {
+            u += 1;
+            continue;
+        }
+        let offset = idx - before;
+        return (u, u + 1 + offset);
+    }
+}
+
+fn pairs_before_row(u: u64, n: u64) -> u64 {
+    // sum_{r=0}^{u-1} (n - 1 - r) = u*(n-1) - u*(u-1)/2
+    u * (n - 1) - u * u.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn pair_from_index_is_lexicographic() {
+        let n = 7u64;
+        let mut expected = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                expected.push((u, v));
+            }
+        }
+        for (i, &(u, v)) in expected.iter().enumerate() {
+            assert_eq!(pair_from_index(i as u64, n), (u, v), "index {i}");
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng(1));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let ratio = g.m() as f64 / expected;
+        assert!(ratio > 0.85 && ratio < 1.15, "m={} expected≈{expected}", g.m());
+        assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, &mut rng(2)).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng(2)).m(), 45);
+        assert_eq!(gnp(1, 0.5, &mut rng(2)).m(), 0);
+        assert_eq!(gnp(0, 0.5, &mut rng(2)).n(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn gnp_rejects_bad_probability() {
+        let _ = gnp(5, 1.5, &mut rng(3));
+    }
+
+    #[test]
+    fn gnm_exact_count_and_simple() {
+        let g = gnm(50, 200, &mut rng(4));
+        assert_eq!(g.m(), 200);
+        assert_eq!(g.n(), 50);
+        // Simplicity is enforced by Graph invariants (debug asserts) plus dedup here.
+        let set: std::collections::HashSet<_> = g.edges().iter().collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        let g = gnm(10, 44, &mut rng(5)); // out of 45 pairs
+        assert_eq!(g.m(), 44);
+    }
+
+    #[test]
+    fn gnm_zero_and_full() {
+        assert_eq!(gnm(10, 0, &mut rng(6)).m(), 0);
+        assert_eq!(gnm(6, 15, &mut rng(6)).m(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_rejects_too_many_edges() {
+        let _ = gnm(4, 10, &mut rng(7));
+    }
+
+    #[test]
+    fn gnp_is_reproducible_from_seed() {
+        let a = gnp(100, 0.1, &mut rng(42));
+        let b = gnp(100, 0.1, &mut rng(42));
+        assert_eq!(a, b);
+    }
+}

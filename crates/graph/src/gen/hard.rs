@@ -1,0 +1,371 @@
+//! The paper's hard input distributions and negative-control instances.
+//!
+//! * [`d_matching`] — distribution `D_Matching` (Sections 4.1 and 5.1): the
+//!   union of a dense random bipartite graph `E_AB` on small vertex sets
+//!   `A x B` (|A| = |B| = n/alpha) and a random near-perfect matching
+//!   `E_AB-bar` on the remaining vertices. Any good approximation must recover
+//!   many matching edges, but locally they are indistinguishable from the
+//!   dense block's edges.
+//! * [`d_vc`] — distribution `D_VC` (Sections 4.2 and 5.3): a bipartite graph
+//!   whose edges all touch a small set `A` (|A| = n/alpha) plus a single
+//!   "hidden" edge `e*`; the optimal vertex cover is `A ∪ {one endpoint of e*}`
+//!   but a protocol that drops `e*` outputs an infeasible (or enormous) cover.
+//! * [`maximal_matching_trap`] — the Section 1.2 negative control: an instance
+//!   on which composing *arbitrary maximal* matchings of the pieces yields only
+//!   an `Ω(k)` fraction of the optimum, while composing *maximum* matchings
+//!   stays O(1). The instance is a planted perfect matching A–B plus a complete
+//!   bipartite "trap" block A×C with |C| ≈ n/k; an adversarial maximal matching
+//!   prefers trap edges, so the union of the coresets only matches `|C|`
+//!   vertices.
+
+use crate::bipartite::BipartiteGraph;
+use crate::edge::{Edge, VertexId};
+use crate::error::GraphError;
+use crate::gen::bipartite::random_matching_between;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A sample from the matching lower-bound distribution `D_Matching`.
+#[derive(Debug, Clone)]
+pub struct DMatchingInstance {
+    /// The full bipartite graph `G(L, R, E_AB ∪ E_AB-bar)` with `|L| = |R| = n`.
+    pub graph: BipartiteGraph,
+    /// The vertex set `A ⊆ L` (size `n / alpha`).
+    pub a: Vec<VertexId>,
+    /// The vertex set `B ⊆ R` (size `n / alpha`).
+    pub b: Vec<VertexId>,
+    /// The planted matching `E_AB-bar` between `L \ A` and `R \ B`
+    /// (size `n - n/alpha`); recovering a constant fraction of it is necessary
+    /// for any constant-factor approximation.
+    pub planted_matching: Vec<(VertexId, VertexId)>,
+    /// Number of edges in the dense block `E_AB`.
+    pub dense_edges: usize,
+}
+
+impl DMatchingInstance {
+    /// The number of vertices per side.
+    pub fn n(&self) -> usize {
+        self.graph.left_n()
+    }
+
+    /// A certified lower bound on the maximum matching size: the planted
+    /// matching alone.
+    pub fn matching_lower_bound(&self) -> usize {
+        self.planted_matching.len()
+    }
+}
+
+/// Samples from `D_Matching(n, alpha, k)`.
+///
+/// Construction (paper, Section 4.1):
+/// 1. pick `A ⊆ L`, `B ⊆ R` of size `n/alpha` uniformly at random,
+/// 2. `E_AB`: each pair in `A x B` independently with probability
+///    `k * alpha / n` (clamped to 1),
+/// 3. `E_AB-bar`: a random perfect matching between `L \ A` and `R \ B`,
+/// 4. the instance is `E_AB ∪ E_AB-bar`.
+///
+/// # Errors
+///
+/// Returns an error if `alpha < 1`, `n < alpha` (the set `A` would be empty)
+/// or `k == 0`.
+pub fn d_matching<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    k: usize,
+    rng: &mut R,
+) -> Result<DMatchingInstance, GraphError> {
+    if alpha < 1.0 {
+        return Err(GraphError::InvalidParameter { reason: format!("alpha must be >= 1, got {alpha}") });
+    }
+    if k == 0 {
+        return Err(GraphError::InvalidMachineCount { k });
+    }
+    let block = (n as f64 / alpha).floor() as usize;
+    if block == 0 || block > n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("n/alpha = {block} must be in 1..=n for D_Matching"),
+        });
+    }
+
+    // Random A ⊆ L and B ⊆ R of size `block`.
+    let mut left: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut right: Vec<VertexId> = (0..n as VertexId).collect();
+    left.shuffle(rng);
+    right.shuffle(rng);
+    let a: Vec<VertexId> = left[..block].to_vec();
+    let a_bar: Vec<VertexId> = left[block..].to_vec();
+    let b: Vec<VertexId> = right[..block].to_vec();
+    let b_bar: Vec<VertexId> = right[block..].to_vec();
+
+    // Dense block E_AB with probability p = k * alpha / n.
+    let p = (k as f64 * alpha / n as f64).min(1.0);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for &u in &a {
+        for &v in &b {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    let dense_edges = edges.len();
+
+    // Planted near-perfect matching between the complements.
+    let planted = random_matching_between(&a_bar, &b_bar, a_bar.len().min(b_bar.len()), rng);
+    edges.extend_from_slice(&planted);
+
+    let graph = BipartiteGraph::from_pairs(n, n, edges)?;
+    Ok(DMatchingInstance { graph, a, b, planted_matching: planted, dense_edges })
+}
+
+/// A sample from the vertex-cover lower-bound distribution `D_VC`.
+#[derive(Debug, Clone)]
+pub struct DVcInstance {
+    /// The full bipartite graph `G(L, R, E_A ∪ {e*})` with `|L| = |R| = n`.
+    pub graph: BipartiteGraph,
+    /// The vertex set `A ⊆ L` of size `n/alpha`; `A` plus one endpoint of `e*`
+    /// is a vertex cover.
+    pub a: Vec<VertexId>,
+    /// The special vertex `v* ∈ L \ A` carrying the hidden edge.
+    pub v_star: VertexId,
+    /// The hidden edge `e* = (v*, r*)` as a `(left, right)` pair.
+    pub e_star: (VertexId, VertexId),
+}
+
+impl DVcInstance {
+    /// An upper bound on the optimal vertex cover size: `|A| + 1`.
+    pub fn vc_upper_bound(&self) -> usize {
+        self.a.len() + 1
+    }
+}
+
+/// Samples from `D_VC(n, alpha, k)`.
+///
+/// Construction (paper, Sections 4.2 and 5.3, with the introduction's
+/// placement of the hidden edge):
+/// 1. pick `A ⊆ L` of size `n/alpha` uniformly at random,
+/// 2. `E_A`: each pair in `A x R` independently with probability `k / 2n`,
+/// 3. pick `v*` uniformly from `L \ A` and a uniformly random right vertex
+///    `r*`; add the hidden edge `e* = (v*, r*)`.
+///
+/// The resulting graph has a vertex cover of size `n/alpha + 1` (namely
+/// `A ∪ {v*}`), yet any protocol that fails to report `e*` (or one of its
+/// endpoints) produces an infeasible cover — the crux of Theorem 4/6.
+///
+/// # Errors
+///
+/// Returns an error if `alpha < 1`, the implied `|A|` is zero or `n`, or `k == 0`.
+pub fn d_vc<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    k: usize,
+    rng: &mut R,
+) -> Result<DVcInstance, GraphError> {
+    if alpha < 1.0 {
+        return Err(GraphError::InvalidParameter { reason: format!("alpha must be >= 1, got {alpha}") });
+    }
+    if k == 0 {
+        return Err(GraphError::InvalidMachineCount { k });
+    }
+    let block = (n as f64 / alpha).floor() as usize;
+    if block == 0 || block >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("n/alpha = {block} must be in 1..n for D_VC"),
+        });
+    }
+
+    let mut left: Vec<VertexId> = (0..n as VertexId).collect();
+    left.shuffle(rng);
+    let a: Vec<VertexId> = left[..block].to_vec();
+    let rest: Vec<VertexId> = left[block..].to_vec();
+
+    let p = (k as f64 / (2.0 * n as f64)).min(1.0);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for &u in &a {
+        for r in 0..n as VertexId {
+            if rng.gen_bool(p) {
+                edges.push((u, r));
+            }
+        }
+    }
+
+    let v_star = *rest.choose(rng).expect("L \\ A is non-empty because block < n");
+    let r_star = rng.gen_range(0..n as VertexId);
+    let e_star = (v_star, r_star);
+    edges.push(e_star);
+
+    let graph = BipartiteGraph::from_pairs(n, n, edges)?;
+    Ok(DVcInstance { graph, a, v_star, e_star })
+}
+
+/// The negative-control instance for arbitrary maximal matchings.
+#[derive(Debug, Clone)]
+pub struct TrapInstance {
+    /// The full graph: planted matching `A–B` plus the trap block `A x C`.
+    pub graph: Graph,
+    /// The planted perfect matching edges (`a_i`, `b_i`); the optimum matching
+    /// has at least this size.
+    pub planted_matching: Vec<Edge>,
+    /// The trap vertices `C` (size about `n / k`); an adversarial maximal
+    /// matching prefers edges into `C`, so the composed solution is stuck at
+    /// roughly `|C|`.
+    pub trap_vertices: Vec<VertexId>,
+    /// Edges of the trap block `A x C`.
+    pub trap_edges: Vec<Edge>,
+    /// Membership set for O(1) trap-edge queries.
+    trap_set: HashSet<Edge>,
+}
+
+impl TrapInstance {
+    /// Lower bound on the maximum matching (the planted matching).
+    pub fn matching_lower_bound(&self) -> usize {
+        self.planted_matching.len()
+    }
+
+    /// Returns `true` if `e` is a trap edge (touches `C`).
+    pub fn is_trap_edge(&self, e: &Edge) -> bool {
+        self.trap_set.contains(e)
+    }
+}
+
+impl TrapInstance {
+    fn new(graph: Graph, planted: Vec<Edge>, trap_vertices: Vec<VertexId>, trap_edges: Vec<Edge>) -> Self {
+        let trap_set = trap_edges.iter().copied().collect();
+        TrapInstance { graph, planted_matching: planted, trap_vertices, trap_edges, trap_set }
+    }
+}
+
+/// Builds the maximal-matching trap instance.
+///
+/// Layout of the `2n + c` vertices (where `c = max(1, trap_fraction * n)`):
+/// * `a_i = i` for `i in 0..n`,
+/// * `b_i = n + i` for `i in 0..n`,
+/// * `C = { 2n, ..., 2n + c - 1 }`.
+///
+/// Edges: the planted perfect matching `(a_i, b_i)` plus the complete
+/// bipartite block `A x C`. The maximum matching has size `n` (it can use the
+/// planted matching); a maximal matching that prefers trap edges matches at
+/// most `c` of the `a_i` to `C` *and* is then forced to pick the planted edges
+/// of the remaining `a_i` only if those edges are present on the same
+/// machine — under a random `k`-partition most are not, so the composed
+/// coreset collapses to about `c + n/k` edges.
+pub fn maximal_matching_trap(n: usize, trap_fraction: f64) -> Result<TrapInstance, GraphError> {
+    if !(0.0..=1.0).contains(&trap_fraction) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("trap_fraction must be in [0, 1], got {trap_fraction}"),
+        });
+    }
+    if n == 0 {
+        return Err(GraphError::InvalidParameter { reason: "n must be positive".into() });
+    }
+    let c = ((trap_fraction * n as f64).round() as usize).max(1);
+    let total = 2 * n + c;
+
+    let mut planted = Vec::with_capacity(n);
+    let mut edges = Vec::with_capacity(n + n * c);
+    for i in 0..n as VertexId {
+        let e = Edge::new(i, n as VertexId + i);
+        planted.push(e);
+        edges.push(e);
+    }
+    let trap_vertices: Vec<VertexId> = (0..c as VertexId).map(|j| 2 * n as VertexId + j).collect();
+    let mut trap_edges = Vec::with_capacity(n * c);
+    for i in 0..n as VertexId {
+        for &t in &trap_vertices {
+            let e = Edge::new(i, t);
+            trap_edges.push(e);
+            edges.push(e);
+        }
+    }
+    let graph = Graph::from_edges_unchecked(total, edges);
+    Ok(TrapInstance::new(graph, planted, trap_vertices, trap_edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn d_matching_structure() {
+        let n = 500;
+        let alpha = 5.0;
+        let k = 10;
+        let inst = d_matching(n, alpha, k, &mut rng(1)).unwrap();
+        assert_eq!(inst.n(), n);
+        assert_eq!(inst.a.len(), 100);
+        assert_eq!(inst.b.len(), 100);
+        assert_eq!(inst.planted_matching.len(), n - 100);
+        assert!(inst.matching_lower_bound() >= n - 100);
+        // The dense block has about |A| * |B| * k * alpha / n = 100*100*10*5/500 = 1000 edges.
+        assert!(inst.dense_edges > 500 && inst.dense_edges < 1600, "dense edges = {}", inst.dense_edges);
+        // Planted edges avoid A and B entirely.
+        let a_set: HashSet<_> = inst.a.iter().collect();
+        let b_set: HashSet<_> = inst.b.iter().collect();
+        for (l, r) in &inst.planted_matching {
+            assert!(!a_set.contains(l));
+            assert!(!b_set.contains(r));
+        }
+    }
+
+    #[test]
+    fn d_matching_rejects_bad_parameters() {
+        assert!(d_matching(100, 0.5, 4, &mut rng(2)).is_err());
+        assert!(d_matching(100, 5.0, 0, &mut rng(2)).is_err());
+        assert!(d_matching(3, 100.0, 4, &mut rng(2)).is_err());
+    }
+
+    #[test]
+    fn d_vc_structure() {
+        let n = 400;
+        let alpha = 8.0;
+        let k = 8;
+        let inst = d_vc(n, alpha, k, &mut rng(3)).unwrap();
+        assert_eq!(inst.a.len(), 50);
+        assert_eq!(inst.vc_upper_bound(), 51);
+        // e* is present and its left endpoint is outside A.
+        let edges: HashSet<_> = inst.graph.edges().iter().copied().collect();
+        assert!(edges.contains(&inst.e_star));
+        assert!(!inst.a.contains(&inst.v_star));
+        assert_eq!(inst.e_star.0, inst.v_star);
+        // A ∪ {v*} really is a vertex cover.
+        let cover: HashSet<VertexId> = inst.a.iter().copied().chain(std::iter::once(inst.v_star)).collect();
+        for &(l, _) in inst.graph.edges() {
+            assert!(cover.contains(&l), "edge with left endpoint {l} not covered");
+        }
+    }
+
+    #[test]
+    fn d_vc_rejects_bad_parameters() {
+        assert!(d_vc(100, 0.9, 4, &mut rng(4)).is_err());
+        assert!(d_vc(100, 1.0, 4, &mut rng(4)).is_err(), "|A| = n leaves no room for v*");
+        assert!(d_vc(100, 5.0, 0, &mut rng(4)).is_err());
+    }
+
+    #[test]
+    fn trap_instance_structure() {
+        let n = 200;
+        let inst = maximal_matching_trap(n, 0.05).unwrap();
+        let c = 10;
+        assert_eq!(inst.trap_vertices.len(), c);
+        assert_eq!(inst.planted_matching.len(), n);
+        assert_eq!(inst.trap_edges.len(), n * c);
+        assert_eq!(inst.graph.n(), 2 * n + c);
+        assert_eq!(inst.graph.m(), n + n * c);
+        assert_eq!(inst.matching_lower_bound(), n);
+        assert!(inst.is_trap_edge(&Edge::new(0, 2 * n as VertexId)));
+        assert!(!inst.is_trap_edge(&inst.planted_matching[0]));
+    }
+
+    #[test]
+    fn trap_rejects_bad_parameters() {
+        assert!(maximal_matching_trap(0, 0.1).is_err());
+        assert!(maximal_matching_trap(10, 1.5).is_err());
+    }
+}

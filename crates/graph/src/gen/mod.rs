@@ -1,0 +1,26 @@
+//! Graph generators for every workload used in the experiments.
+//!
+//! * [`er`] — Erdős–Rényi `G(n, p)` and `G(n, m)` graphs.
+//! * [`bipartite`] — random bipartite graphs, near-regular bipartite graphs
+//!   and planted perfect matchings.
+//! * [`structured`] — paths, cycles, stars, star forests, complete graphs.
+//! * [`rmat`] — R-MAT (Graph500-style) skewed graphs and 2-D grids.
+//! * [`powerlaw`] — Chung–Lu graphs with power-law expected degrees.
+//! * [`hard`] — the paper's hard distributions `D_Matching` (Sections 4.1 and
+//!   5.1) and `D_VC` (Sections 4.2 and 5.3), plus the negative-control
+//!   instance on which an *arbitrary maximal* matching coreset is only
+//!   `Ω(k)`-approximate (Section 1.2).
+
+pub mod bipartite;
+pub mod er;
+pub mod hard;
+pub mod powerlaw;
+pub mod rmat;
+pub mod structured;
+
+pub use bipartite::{near_regular_bipartite, planted_matching_bipartite, random_bipartite};
+pub use er::{gnm, gnp};
+pub use hard::{d_matching, d_vc, maximal_matching_trap, DMatchingInstance, DVcInstance, TrapInstance};
+pub use powerlaw::chung_lu;
+pub use rmat::{grid, rmat, rmat_graph500};
+pub use structured::{complete, cycle, path, star, star_forest};

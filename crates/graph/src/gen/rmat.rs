@@ -1,0 +1,156 @@
+//! R-MAT (recursive matrix) generator and 2-D grid graphs.
+//!
+//! R-MAT is the de-facto standard generator for skewed "social-network-like"
+//! massive graphs (Graph500 uses it); the coreset experiments use it as an
+//! additional realistic workload beyond Erdős–Rényi and Chung–Lu. Grids are
+//! the opposite extreme — bounded degree and large diameter — and exercise
+//! the coresets on near-regular sparse inputs.
+
+use crate::edge::{Edge, VertexId};
+use crate::graph::Graph;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples an R-MAT graph with `2^scale` vertices and (up to) `edge_factor *
+/// 2^scale` distinct edges, using the standard quadrant probabilities
+/// `(a, b, c, d)`; Graph500 uses `(0.57, 0.19, 0.19, 0.05)`.
+///
+/// Self-loops are rejected and duplicate edges are merged, so the resulting
+/// simple graph can have slightly fewer edges than requested (as in every
+/// R-MAT implementation).
+///
+/// # Panics
+///
+/// Panics if the probabilities are negative or do not sum to ~1.
+pub fn rmat<R: Rng + ?Sized>(
+    scale: u32,
+    edge_factor: usize,
+    probabilities: (f64, f64, f64, f64),
+    rng: &mut R,
+) -> Graph {
+    let (a, b, c, d) = probabilities;
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "probabilities must be non-negative");
+    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "probabilities must sum to 1");
+
+    let n = 1usize << scale;
+    let target = edge_factor * n;
+    let mut seen = HashSet::with_capacity(target);
+    let mut edges = Vec::with_capacity(target);
+    // Cap the attempts so adversarial parameters cannot loop forever.
+    let max_attempts = target.saturating_mul(4).max(16);
+    let mut attempts = 0;
+    while edges.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let (mut lo_u, mut lo_v) = (0u64, 0u64);
+        let mut half = (n as u64) / 2;
+        while half >= 1 {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            lo_u += du * half;
+            lo_v += dv * half;
+            half /= 2;
+        }
+        let (u, v) = (lo_u as VertexId, lo_v as VertexId);
+        if u == v {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if seen.insert(e) {
+            edges.push(e);
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// The Graph500 default R-MAT parameters.
+pub fn rmat_graph500<R: Rng + ?Sized>(scale: u32, edge_factor: usize, rng: &mut R) -> Graph {
+    rmat(scale, edge_factor, (0.57, 0.19, 0.19, 0.05), rng)
+}
+
+/// A `rows x cols` 2-D grid graph (4-neighbour connectivity).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rmat_produces_a_skewed_simple_graph() {
+        let g = rmat_graph500(10, 8, &mut rng(1)); // 1024 vertices, ~8192 edges
+        assert_eq!(g.n(), 1024);
+        assert!(g.m() > 4000, "should produce a substantial number of edges, got {}", g.m());
+        assert!(g.m() <= 8 * 1024);
+        // Skew: the maximum degree is far above the average.
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(g.max_degree() as f64 > 4.0 * avg, "R-MAT should have hubs");
+        // Simplicity invariants.
+        let set: HashSet<_> = g.edges().iter().collect();
+        assert_eq!(set.len(), g.m());
+    }
+
+    #[test]
+    fn rmat_is_reproducible() {
+        let a = rmat_graph500(8, 4, &mut rng(2));
+        let b = rmat_graph500(8, 4, &mut rng(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_probabilities() {
+        let _ = rmat(4, 2, (0.5, 0.5, 0.5, 0.5), &mut rng(3));
+    }
+
+    #[test]
+    fn uniform_rmat_is_roughly_erdos_renyi() {
+        // With equal quadrant probabilities R-MAT degenerates to near-uniform
+        // edge sampling; the degree distribution should not have extreme hubs.
+        let g = rmat(10, 8, (0.25, 0.25, 0.25, 0.25), &mut rng(4));
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!((g.max_degree() as f64) < 6.0 * avg);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(5, 7);
+        assert_eq!(g.n(), 35);
+        assert_eq!(g.m(), 5 * 6 + 4 * 7); // horizontal + vertical edges
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(connected_components(&g), 1);
+
+        assert_eq!(grid(1, 4).m(), 3);
+        assert_eq!(grid(3, 1).m(), 2);
+        assert_eq!(grid(0, 5).m(), 0);
+        assert_eq!(grid(1, 1).m(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic structured graphs: paths, cycles, stars, star forests and
+//! complete graphs.
+//!
+//! Stars and star forests are the paper's canonical example of why a local
+//! *minimum vertex cover* is not a composable coreset (Section 1.2: "a star on
+//! k vertices" gives an `Ω(k)` approximation ratio).
+
+use crate::edge::{Edge, VertexId};
+use crate::graph::Graph;
+
+/// Path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let edges = (1..n as VertexId).map(|v| Edge::new(v - 1, v)).collect();
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Cycle on `n >= 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut edges: Vec<Edge> = (1..n as VertexId).map(|v| Edge::new(v - 1, v)).collect();
+    edges.push(Edge::new(0, n as VertexId - 1));
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Star with centre `0` and `leaves` leaves (so `n = leaves + 1`).
+pub fn star(leaves: usize) -> Graph {
+    let edges = (1..=leaves as VertexId).map(|v| Edge::new(0, v)).collect();
+    Graph::from_edges_unchecked(leaves + 1, edges)
+}
+
+/// A forest of `stars` disjoint stars, each with `leaves` leaves.
+///
+/// The minimum vertex cover is exactly the set of centres (size `stars`),
+/// while a careless per-machine cover can pick up to `stars * leaves` leaves —
+/// the separation exploited by experiment E4.
+pub fn star_forest(stars: usize, leaves: usize) -> Graph {
+    let per = leaves + 1;
+    let n = stars * per;
+    let mut edges = Vec::with_capacity(stars * leaves);
+    for s in 0..stars {
+        let centre = (s * per) as VertexId;
+        for l in 1..=leaves as VertexId {
+            edges.push(Edge::new(centre, centre + l));
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            edges.push(Edge::new(u, v));
+        }
+    }
+    Graph::from_edges_unchecked(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(connected_components(&g), 1);
+        assert_eq!(path(0).m(), 0);
+        assert_eq!(path(1).m(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.m(), 6);
+        assert!(g.degrees().iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_rejected() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 9);
+        assert_eq!(g.max_degree(), 9);
+        assert_eq!(g.degrees()[0], 9);
+    }
+
+    #[test]
+    fn star_forest_shape() {
+        let g = star_forest(4, 6);
+        assert_eq!(g.n(), 4 * 7);
+        assert_eq!(g.m(), 4 * 6);
+        assert_eq!(connected_components(&g), 4);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(7);
+        assert_eq!(g.m(), 21);
+        assert!(g.degrees().iter().all(|&d| d == 6));
+        assert_eq!(complete(0).m(), 0);
+        assert_eq!(complete(1).m(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Plain-text edge-list serialization.
+//!
+//! The experiment binaries occasionally persist generated instances so a run
+//! can be replayed; the format is one `u v` pair per line preceded by a
+//! header line `n m` (a de-facto standard for matching benchmarks).
+
+use crate::edge::VertexId;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Serializes a graph to the `n m\nu v\n...` edge-list format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(16 + g.m() * 12);
+    let _ = writeln!(out, "{} {}", g.n(), g.m());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {}", e.u, e.v);
+    }
+    out
+}
+
+/// Parses the `n m\nu v\n...` edge-list format produced by [`to_edge_list`].
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or_else(|| GraphError::InvalidParameter {
+        reason: "edge list is empty (missing `n m` header)".into(),
+    })?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_field(parts.next(), "n")?;
+    let m: usize = parse_field(parts.next(), "m")?;
+
+    let mut pairs = Vec::with_capacity(m);
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let u: VertexId = parse_field(parts.next(), "u")?;
+        let v: VertexId = parse_field(parts.next(), "v")?;
+        pairs.push((u, v));
+    }
+    if pairs.len() != m {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("header declared {m} edges but {} were found", pairs.len()),
+        });
+    }
+    Graph::from_pairs(n, pairs)
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, name: &str) -> Result<T, GraphError> {
+    field
+        .ok_or_else(|| GraphError::InvalidParameter { reason: format!("missing field `{name}`") })?
+        .parse()
+        .map_err(|_| GraphError::InvalidParameter { reason: format!("field `{name}` is not a number") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_pairs(5, vec![(0, 1), (2, 4), (1, 3)]).unwrap();
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n4 2\n\n0 1\n2 3\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("abc def\n").is_err());
+        assert!(from_edge_list("3 2\n0 1\n").is_err(), "edge count mismatch");
+        assert!(from_edge_list("3 1\n0 x\n").is_err());
+        assert!(from_edge_list("3 1\n0 7\n").is_err(), "vertex out of range");
+    }
+}

@@ -1,0 +1,55 @@
+//! Graph substrate for the randomized-composable-coresets reproduction.
+//!
+//! This crate provides every graph-shaped building block required by the
+//! paper *Randomized Composable Coresets for Matching and Vertex Cover*
+//! (Assadi & Khanna, SPAA 2017):
+//!
+//! * [`Graph`] — a simple undirected graph stored as an edge list with
+//!   adjacency and CSR views ([`Adjacency`], [`Csr`]).
+//! * [`BipartiteGraph`] — a bipartite graph with explicit left/right sides,
+//!   used by the hard instances and by Hopcroft–Karp.
+//! * [`WeightedGraph`] — edge-weighted graphs for the Crouch–Stubbs weighted
+//!   extension.
+//! * [`partition`] — the *random k-partitioning* of the edge set that defines
+//!   the model of the paper, plus adversarial partitionings used as negative
+//!   controls.
+//! * [`gen`] — graph generators: Erdős–Rényi, random bipartite, planted
+//!   matchings, stars, power-law (Chung–Lu), and the paper's hard
+//!   distributions `D_Matching` (Section 4.1/5.1) and `D_VC` (Section 4.2/5.3).
+//! * [`stats`] — degree statistics used by the peeling analysis.
+//!
+//! All randomness flows through explicit [`rand::Rng`] arguments so that every
+//! experiment in the workspace is reproducible from a single seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bipartite;
+pub mod csr;
+pub mod edge;
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod stats;
+pub mod weighted;
+
+pub use bipartite::BipartiteGraph;
+pub use csr::Csr;
+pub use edge::{Edge, VertexId, WeightedEdge};
+pub use error::GraphError;
+pub use graph::{Adjacency, Graph};
+pub use partition::{EdgePartition, PartitionStrategy};
+pub use weighted::WeightedGraph;
+
+/// Convenience prelude re-exporting the items needed by most downstream code.
+pub mod prelude {
+    pub use crate::bipartite::BipartiteGraph;
+    pub use crate::csr::Csr;
+    pub use crate::edge::{Edge, VertexId, WeightedEdge};
+    pub use crate::error::GraphError;
+    pub use crate::graph::{Adjacency, Graph};
+    pub use crate::partition::{EdgePartition, PartitionStrategy};
+    pub use crate::weighted::WeightedGraph;
+}

@@ -1,0 +1,336 @@
+//! Random k-partitioning of edge sets — the central model of the paper.
+//!
+//! A *random k-partitioning* of `E` assigns every edge independently and
+//! uniformly at random to one of `k` machines (paper, Section 1,
+//! "Randomized Composable Coresets"). This module implements that
+//! partitioning for plain, bipartite and weighted graphs, plus two
+//! *adversarial* partitionings used as negative controls:
+//!
+//! * [`PartitionStrategy::Adversarial`] — a deterministic partition designed
+//!   to be hard (contiguous chunks of a sorted edge list), modelling the
+//!   adversarial setting of [10] in which Õ(n)-size summaries cannot beat
+//!   Θ(n^{1/3})-approximation.
+//! * [`PartitionStrategy::RoundRobin`] — a deterministic but "spread out"
+//!   partition, useful for sanity comparisons.
+
+use crate::bipartite::BipartiteGraph;
+use crate::edge::WeightedEdge;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::weighted::WeightedGraph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the edge set is split across the `k` machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Each edge goes to a uniformly random machine, independently.
+    /// This is the paper's model.
+    Random,
+    /// Edges are sorted and split into `k` contiguous chunks. Because edges
+    /// incident on the same vertex are adjacent in the sorted order, a single
+    /// machine sees whole neighbourhoods — the structured, adversarial case
+    /// in which composable coresets provably fail.
+    Adversarial,
+    /// Edge `i` goes to machine `i mod k`.
+    RoundRobin,
+}
+
+/// The result of partitioning a graph's edges across `k` machines: one
+/// subgraph per machine, all sharing the original vertex set.
+#[derive(Debug, Clone)]
+pub struct EdgePartition {
+    pieces: Vec<Graph>,
+    strategy: PartitionStrategy,
+}
+
+impl EdgePartition {
+    /// Partitions `g` into `k` pieces using `strategy`.
+    ///
+    /// For [`PartitionStrategy::Random`] the supplied RNG drives the
+    /// machine choice of every edge; the other strategies are deterministic
+    /// and ignore the RNG.
+    pub fn new<R: Rng + ?Sized>(
+        g: &Graph,
+        k: usize,
+        strategy: PartitionStrategy,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        if k == 0 {
+            return Err(GraphError::InvalidMachineCount { k });
+        }
+        let assignment = assign_indices(g.m(), k, strategy, |i| canonical_sort_key(g, i), rng);
+        let mut buckets: Vec<Vec<crate::edge::Edge>> = vec![Vec::new(); k];
+        for (idx, &machine) in assignment.iter().enumerate() {
+            buckets[machine].push(g.edges()[idx]);
+        }
+        let pieces = buckets
+            .into_iter()
+            .map(|edges| Graph::from_edges_unchecked(g.n(), edges))
+            .collect();
+        Ok(EdgePartition { pieces, strategy })
+    }
+
+    /// Convenience constructor for the paper's model (random partitioning).
+    pub fn random<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Result<Self, GraphError> {
+        Self::new(g, k, PartitionStrategy::Random, rng)
+    }
+
+    /// The per-machine subgraphs.
+    #[inline]
+    pub fn pieces(&self) -> &[Graph] {
+        &self.pieces
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// The strategy that produced this partition.
+    #[inline]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Total number of edges across all pieces (equals `m` of the original
+    /// graph — partitioning never duplicates or drops edges).
+    pub fn total_edges(&self) -> usize {
+        self.pieces.iter().map(Graph::m).sum()
+    }
+
+    /// Reassembles the original edge set by unioning all pieces.
+    pub fn reunite(&self) -> Graph {
+        let refs: Vec<&Graph> = self.pieces.iter().collect();
+        Graph::union(&refs)
+    }
+}
+
+/// Partitions a bipartite graph's edges across `k` machines, returning one
+/// bipartite subgraph per machine (same left/right sizes).
+pub fn partition_bipartite<R: Rng + ?Sized>(
+    g: &BipartiteGraph,
+    k: usize,
+    strategy: PartitionStrategy,
+    rng: &mut R,
+) -> Result<Vec<BipartiteGraph>, GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidMachineCount { k });
+    }
+    let assignment = assign_indices(
+        g.m(),
+        k,
+        strategy,
+        |i| {
+            let (l, r) = g.edges()[i];
+            (l as u64) << 32 | r as u64
+        },
+        rng,
+    );
+    let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+    for (idx, &machine) in assignment.iter().enumerate() {
+        buckets[machine].push(g.edges()[idx]);
+    }
+    Ok(buckets
+        .into_iter()
+        .map(|edges| BipartiteGraph::from_pairs_unchecked(g.left_n(), g.right_n(), edges))
+        .collect())
+}
+
+/// Partitions a weighted graph's edges across `k` machines.
+pub fn partition_weighted<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    k: usize,
+    strategy: PartitionStrategy,
+    rng: &mut R,
+) -> Result<Vec<WeightedGraph>, GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidMachineCount { k });
+    }
+    let assignment = assign_indices(
+        g.m(),
+        k,
+        strategy,
+        |i| {
+            let e = g.edges()[i].edge;
+            (e.u as u64) << 32 | e.v as u64
+        },
+        rng,
+    );
+    let mut buckets: Vec<Vec<WeightedEdge>> = vec![Vec::new(); k];
+    for (idx, &machine) in assignment.iter().enumerate() {
+        buckets[machine].push(g.edges()[idx]);
+    }
+    Ok(buckets
+        .into_iter()
+        .map(|edges| {
+            WeightedGraph::from_triples(g.n(), edges.iter().map(|e| (e.edge.u, e.edge.v, e.weight)))
+                .expect("edges already validated by the source graph")
+        })
+        .collect())
+}
+
+fn canonical_sort_key(g: &Graph, i: usize) -> u64 {
+    let e = g.edges()[i];
+    (e.u as u64) << 32 | e.v as u64
+}
+
+/// Computes, for each of `m` edge indices, the machine in `0..k` it is
+/// assigned to under the given strategy. `sort_key` is only consulted by the
+/// adversarial strategy.
+fn assign_indices<R: Rng + ?Sized, K: Fn(usize) -> u64>(
+    m: usize,
+    k: usize,
+    strategy: PartitionStrategy,
+    sort_key: K,
+    rng: &mut R,
+) -> Vec<usize> {
+    match strategy {
+        PartitionStrategy::Random => (0..m).map(|_| rng.gen_range(0..k)).collect(),
+        PartitionStrategy::RoundRobin => (0..m).map(|i| i % k).collect(),
+        PartitionStrategy::Adversarial => {
+            // Sort edge indices by (u, v) and cut into k contiguous chunks so
+            // that each machine receives whole neighbourhoods.
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by_key(|&i| sort_key(i));
+            let mut assignment = vec![0usize; m];
+            if m == 0 {
+                return assignment;
+            }
+            let chunk = m.div_ceil(k);
+            for (pos, &idx) in order.iter().enumerate() {
+                assignment[idx] = (pos / chunk).min(k - 1);
+            }
+            assignment
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::er::gnp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_partition_is_a_partition() {
+        let mut r = rng(1);
+        let g = gnp(200, 0.05, &mut r);
+        let part = EdgePartition::random(&g, 7, &mut r).unwrap();
+        assert_eq!(part.k(), 7);
+        assert_eq!(part.total_edges(), g.m());
+        let reunited = part.reunite();
+        assert_eq!(reunited.m(), g.m());
+        // Every original edge appears in exactly one piece.
+        for e in g.edges() {
+            let count = part.pieces().iter().filter(|p| p.edges().contains(e)).count();
+            assert_eq!(count, 1, "edge {e:?} should be in exactly one piece");
+        }
+    }
+
+    #[test]
+    fn zero_machines_rejected() {
+        let mut r = rng(2);
+        let g = gnp(10, 0.3, &mut r);
+        assert!(matches!(
+            EdgePartition::random(&g, 0, &mut r),
+            Err(GraphError::InvalidMachineCount { k: 0 })
+        ));
+    }
+
+    #[test]
+    fn k_greater_than_m_leaves_empty_pieces() {
+        let mut r = rng(3);
+        let g = Graph::from_pairs(4, vec![(0, 1), (2, 3)]).unwrap();
+        let part = EdgePartition::random(&g, 10, &mut r).unwrap();
+        assert_eq!(part.k(), 10);
+        assert_eq!(part.total_edges(), 2);
+        let nonempty = part.pieces().iter().filter(|p| !p.is_empty()).count();
+        assert!(nonempty <= 2);
+    }
+
+    #[test]
+    fn random_partition_is_roughly_balanced() {
+        let mut r = rng(4);
+        let g = gnp(300, 0.1, &mut r);
+        let k = 8;
+        let part = EdgePartition::random(&g, k, &mut r).unwrap();
+        let expected = g.m() as f64 / k as f64;
+        for p in part.pieces() {
+            let ratio = p.m() as f64 / expected;
+            assert!(ratio > 0.6 && ratio < 1.4, "piece size {} far from expected {expected}", p.m());
+        }
+    }
+
+    #[test]
+    fn round_robin_is_deterministic_and_balanced() {
+        let mut r = rng(5);
+        let g = gnp(100, 0.1, &mut r);
+        let p1 = EdgePartition::new(&g, 4, PartitionStrategy::RoundRobin, &mut rng(99)).unwrap();
+        let p2 = EdgePartition::new(&g, 4, PartitionStrategy::RoundRobin, &mut rng(7)).unwrap();
+        for (a, b) in p1.pieces().iter().zip(p2.pieces()) {
+            assert_eq!(a.edges(), b.edges());
+        }
+        let sizes: Vec<usize> = p1.pieces().iter().map(Graph::m).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn adversarial_partition_groups_neighbourhoods() {
+        // Star centred at 0: adversarial partitioning puts contiguous chunks
+        // of 0's neighbourhood on each machine.
+        let n = 101;
+        let g = Graph::from_pairs(n, (1..n as u32).map(|v| (0, v))).unwrap();
+        let part = EdgePartition::new(&g, 4, PartitionStrategy::Adversarial, &mut rng(0)).unwrap();
+        assert_eq!(part.total_edges(), 100);
+        // Chunks are contiguous in sorted order: piece 0 gets neighbours 1..=25, etc.
+        let piece0 = &part.pieces()[0];
+        assert_eq!(piece0.m(), 25);
+        assert!(piece0.has_edge(0, 1));
+        assert!(piece0.has_edge(0, 25));
+        assert!(!piece0.has_edge(0, 26));
+    }
+
+    #[test]
+    fn bipartite_partition_preserves_edges() {
+        let mut r = rng(6);
+        let g = crate::gen::bipartite::random_bipartite(50, 50, 0.1, &mut r);
+        let pieces = partition_bipartite(&g, 5, PartitionStrategy::Random, &mut r).unwrap();
+        assert_eq!(pieces.len(), 5);
+        let total: usize = pieces.iter().map(BipartiteGraph::m).sum();
+        assert_eq!(total, g.m());
+        for p in &pieces {
+            assert_eq!(p.left_n(), 50);
+            assert_eq!(p.right_n(), 50);
+        }
+    }
+
+    #[test]
+    fn weighted_partition_preserves_total_weight() {
+        let mut r = rng(7);
+        let g = WeightedGraph::from_triples(
+            6,
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (4, 5, 5.0)],
+        )
+        .unwrap();
+        let pieces = partition_weighted(&g, 3, PartitionStrategy::Random, &mut r).unwrap();
+        let total: f64 = pieces.iter().map(WeightedGraph::total_weight).sum();
+        assert!((total - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_partitions_cleanly() {
+        let g = Graph::empty(10);
+        let part = EdgePartition::random(&g, 3, &mut rng(8)).unwrap();
+        assert_eq!(part.total_edges(), 0);
+        assert!(part.pieces().iter().all(Graph::is_empty));
+    }
+}

@@ -1,0 +1,206 @@
+//! Edge-weighted graphs for the weighted-matching extension.
+//!
+//! The paper extends its matching coreset to weighted graphs via the
+//! Crouch–Stubbs technique (grouping edges into geometric weight classes,
+//! Section 1.1). [`WeightedGraph`] stores weighted edges and can split itself
+//! into the unweighted weight-class subgraphs that the technique requires.
+
+use crate::edge::{Edge, VertexId, WeightedEdge};
+use crate::error::GraphError;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A simple undirected graph with non-negative edge weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedGraph {
+    n: usize,
+    edges: Vec<WeightedEdge>,
+}
+
+impl WeightedGraph {
+    /// Creates an empty weighted graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        WeightedGraph { n, edges: Vec::new() }
+    }
+
+    /// Builds a weighted graph from `(u, v, w)` triples; duplicate edges keep
+    /// the maximum weight seen (a matching never benefits from the lighter
+    /// parallel edge).
+    pub fn from_triples<I>(n: usize, triples: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId, f64)>,
+    {
+        let mut best: HashMap<Edge, f64> = HashMap::new();
+        for (a, b, w) in triples {
+            if a == b {
+                return Err(GraphError::SelfLoop { vertex: a });
+            }
+            if a as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: a, n });
+            }
+            if b as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: b, n });
+            }
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(GraphError::InvalidParameter {
+                    reason: format!("edge weight must be finite and non-negative, got {w}"),
+                });
+            }
+            let e = Edge::new(a, b);
+            best.entry(e).and_modify(|old| *old = old.max(w)).or_insert(w);
+        }
+        let mut edges: Vec<WeightedEdge> =
+            best.into_iter().map(|(edge, weight)| WeightedEdge { edge, weight }).collect();
+        edges.sort_by_key(|we| we.edge);
+        Ok(WeightedGraph { n, edges })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The weighted edge list, sorted by endpoints.
+    #[inline]
+    pub fn edges(&self) -> &[WeightedEdge] {
+        &self.edges
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// The largest edge weight, or `0.0` for an edgeless graph.
+    pub fn max_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).fold(0.0, f64::max)
+    }
+
+    /// Drops the weights, returning the underlying simple graph.
+    pub fn to_unweighted(&self) -> Graph {
+        Graph::from_edges_unchecked(self.n, self.edges.iter().map(|e| e.edge).collect())
+    }
+
+    /// Splits the graph into geometric weight classes
+    /// `class i = { e : base^i <= w(e) < base^(i+1) }` for `i >= 0`, together
+    /// with the weight-class lower bound `base^i` of each class.
+    ///
+    /// Edges with weight below `1.0` are clamped into class 0 after rescaling
+    /// by the minimum positive weight, matching the standard Crouch–Stubbs
+    /// setup where weights are assumed to be at least 1. Classes with no edges
+    /// are omitted.
+    pub fn weight_classes(&self, base: f64) -> Vec<(f64, Graph)> {
+        assert!(base > 1.0, "weight-class base must exceed 1.0");
+        if self.edges.is_empty() {
+            return Vec::new();
+        }
+        let min_pos = self
+            .edges
+            .iter()
+            .map(|e| e.weight)
+            .filter(|&w| w > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let scale = if min_pos.is_finite() && min_pos < 1.0 { 1.0 / min_pos } else { 1.0 };
+
+        let mut classes: HashMap<u32, Vec<Edge>> = HashMap::new();
+        for e in &self.edges {
+            let w = (e.weight * scale).max(1.0);
+            let class = w.log(base).floor().max(0.0) as u32;
+            classes.entry(class).or_default().push(e.edge);
+        }
+        let mut out: Vec<(f64, Graph)> = classes
+            .into_iter()
+            .map(|(class, edges)| {
+                (base.powi(class as i32) / scale, Graph::from_edges_unchecked(self.n, edges))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite class bounds"));
+        out
+    }
+
+    /// Looks up the weight of edge `(a, b)`, if present.
+    pub fn weight_of(&self, a: VertexId, b: VertexId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        let e = Edge::new(a, b);
+        self.edges.iter().find(|we| we.edge == e).map(|we| we.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let g = WeightedGraph::from_triples(4, vec![(0, 1, 2.0), (1, 2, 5.0), (2, 3, 0.5)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.weight_of(1, 0), Some(2.0));
+        assert_eq!(g.weight_of(0, 3), None);
+        assert!((g.total_weight() - 7.5).abs() < 1e-12);
+        assert_eq!(g.max_weight(), 5.0);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_max_weight() {
+        let g = WeightedGraph::from_triples(3, vec![(0, 1, 1.0), (1, 0, 4.0)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.weight_of(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(WeightedGraph::from_triples(3, vec![(0, 0, 1.0)]).is_err());
+        assert!(WeightedGraph::from_triples(3, vec![(0, 9, 1.0)]).is_err());
+        assert!(WeightedGraph::from_triples(3, vec![(0, 1, -2.0)]).is_err());
+        assert!(WeightedGraph::from_triples(3, vec![(0, 1, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn to_unweighted_preserves_structure() {
+        let g = WeightedGraph::from_triples(3, vec![(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let u = g.to_unweighted();
+        assert_eq!(u.m(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn weight_classes_partition_edges() {
+        let g = WeightedGraph::from_triples(
+            6,
+            vec![(0, 1, 1.0), (1, 2, 1.5), (2, 3, 4.0), (3, 4, 8.0), (4, 5, 100.0)],
+        )
+        .unwrap();
+        let classes = g.weight_classes(2.0);
+        let total: usize = classes.iter().map(|(_, g)| g.m()).sum();
+        assert_eq!(total, g.m(), "every edge lands in exactly one class");
+        // class lower bounds increase strictly
+        for w in classes.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn weight_classes_of_empty_graph() {
+        let g = WeightedGraph::empty(5);
+        assert!(g.weight_classes(2.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed")]
+    fn weight_classes_rejects_bad_base() {
+        let g = WeightedGraph::from_triples(2, vec![(0, 1, 1.0)]).unwrap();
+        let _ = g.weight_classes(1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Edmonds' blossom algorithm: maximum matching in general graphs.
+//!
+//! The paper's matching coreset is defined for arbitrary graphs, so the
+//! library needs a maximum-matching routine that does not assume
+//! bipartiteness. This is the classic `O(n^3)` blossom-contraction
+//! implementation (BFS from each free vertex, contracting odd cycles via a
+//! `base` array). It is fast enough for pieces with tens of thousands of
+//! edges, which is the regime of the experiments; bipartite inputs should
+//! prefer [`crate::hopcroft_karp`].
+
+use crate::matching::Matching;
+use graph::{Edge, Graph, VertexId};
+use std::collections::VecDeque;
+
+const NONE: u32 = u32::MAX;
+
+/// Computes a maximum matching of a general graph.
+pub fn blossom_maximum_matching(g: &Graph) -> Matching {
+    let n = g.n();
+    let adj = g.adjacency();
+    let adj: Vec<&[VertexId]> = (0..n as u32).map(|v| adj.neighbors(v)).collect();
+    // `mate[v]` = partner of v or NONE.
+    let mut mate = vec![NONE; n];
+
+    // Greedy initialisation speeds up the augmenting phase substantially.
+    for v in 0..n as u32 {
+        if mate[v as usize] == NONE {
+            for &w in adj[v as usize] {
+                if mate[w as usize] == NONE {
+                    mate[v as usize] = w;
+                    mate[w as usize] = v;
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut state = BlossomState {
+        n,
+        parent: vec![NONE; n],
+        base: (0..n as u32).collect(),
+        queue: VecDeque::new(),
+        used: vec![false; n],
+        blossom: vec![false; n],
+    };
+
+    for v in 0..n as u32 {
+        if mate[v as usize] == NONE {
+            state.augment_from(v, &adj, &mut mate);
+        }
+    }
+
+    let mut edges = Vec::new();
+    for v in 0..n as u32 {
+        let w = mate[v as usize];
+        if w != NONE && v < w {
+            edges.push(Edge::new(v, w));
+        }
+    }
+    Matching::from_edges(edges)
+}
+
+struct BlossomState {
+    n: usize,
+    parent: Vec<u32>,
+    base: Vec<u32>,
+    queue: VecDeque<u32>,
+    used: Vec<bool>,
+    blossom: Vec<bool>,
+}
+
+impl BlossomState {
+    /// Attempts to find and apply an augmenting path starting at the free
+    /// vertex `root`. Returns `true` if the matching was augmented.
+    fn augment_from(&mut self, root: u32, adj: &[&[VertexId]], mate: &mut [u32]) -> bool {
+        self.used.iter_mut().for_each(|x| *x = false);
+        self.parent.iter_mut().for_each(|x| *x = NONE);
+        for (i, b) in self.base.iter_mut().enumerate() {
+            *b = i as u32;
+        }
+        self.queue.clear();
+        self.queue.push_back(root);
+        self.used[root as usize] = true;
+
+        while let Some(v) = self.queue.pop_front() {
+            for &to in adj[v as usize] {
+                if self.base[v as usize] == self.base[to as usize] || mate[v as usize] == to {
+                    continue;
+                }
+                if to == root || (mate[to as usize] != NONE && self.parent[mate[to as usize] as usize] != NONE)
+                {
+                    // Found a blossom: contract it.
+                    let cur_base = self.lca(v, to, mate);
+                    self.blossom.iter_mut().for_each(|x| *x = false);
+                    self.mark_path(v, cur_base, to, mate);
+                    self.mark_path(to, cur_base, v, mate);
+                    for i in 0..self.n {
+                        if self.blossom[self.base[i] as usize] {
+                            self.base[i] = cur_base;
+                            if !self.used[i] {
+                                self.used[i] = true;
+                                self.queue.push_back(i as u32);
+                            }
+                        }
+                    }
+                } else if self.parent[to as usize] == NONE {
+                    self.parent[to as usize] = v;
+                    if mate[to as usize] == NONE {
+                        // Augmenting path found: flip matched edges along it.
+                        self.augment_along(to, mate);
+                        return true;
+                    }
+                    let next = mate[to as usize];
+                    self.used[next as usize] = true;
+                    self.queue.push_back(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Lowest common ancestor of `a` and `b` in the alternating forest
+    /// (walking via bases and mates).
+    fn lca(&self, mut a: u32, mut b: u32, mate: &[u32]) -> u32 {
+        let mut visited = vec![false; self.n];
+        loop {
+            a = self.base[a as usize];
+            visited[a as usize] = true;
+            if mate[a as usize] == NONE {
+                break;
+            }
+            a = self.parent[mate[a as usize] as usize];
+        }
+        loop {
+            b = self.base[b as usize];
+            if visited[b as usize] {
+                return b;
+            }
+            b = self.parent[mate[b as usize] as usize];
+        }
+    }
+
+    /// Marks blossom membership along the path from `v` up to the blossom
+    /// base, rewiring parents so that the contracted blossom can be traversed
+    /// in both directions.
+    fn mark_path(&mut self, mut v: u32, base: u32, mut child: u32, mate: &[u32]) {
+        while self.base[v as usize] != base {
+            self.blossom[self.base[v as usize] as usize] = true;
+            self.blossom[self.base[mate[v as usize] as usize] as usize] = true;
+            self.parent[v as usize] = child;
+            child = mate[v as usize];
+            v = self.parent[mate[v as usize] as usize];
+        }
+    }
+
+    /// Flips matched/unmatched edges along the alternating path ending at the
+    /// free vertex `v`.
+    fn augment_along(&self, mut v: u32, mate: &mut [u32]) {
+        while v != NONE {
+            let pv = self.parent[v as usize];
+            let ppv = mate[pv as usize];
+            mate[v as usize] = pv;
+            mate[pv as usize] = v;
+            v = ppv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp::hopcroft_karp_size;
+    use crate::matching::brute_force_maximum_matching_size;
+    use graph::gen::er::gnp;
+    use graph::gen::structured::{complete, cycle, path, star};
+    use graph::gen::bipartite::random_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(blossom_maximum_matching(&path(2)).len(), 1);
+        assert_eq!(blossom_maximum_matching(&path(5)).len(), 2);
+        assert_eq!(blossom_maximum_matching(&path(6)).len(), 3);
+        assert_eq!(blossom_maximum_matching(&cycle(5)).len(), 2);
+        assert_eq!(blossom_maximum_matching(&cycle(6)).len(), 3);
+        assert_eq!(blossom_maximum_matching(&star(7)).len(), 1);
+        assert_eq!(blossom_maximum_matching(&complete(6)).len(), 3);
+        assert_eq!(blossom_maximum_matching(&complete(7)).len(), 3);
+        assert_eq!(blossom_maximum_matching(&Graph::empty(4)).len(), 0);
+    }
+
+    #[test]
+    fn odd_cycle_with_pendant_needs_blossom_reasoning() {
+        // Triangle 0-1-2 plus pendant edge 2-3: maximum matching is 2.
+        let g = Graph::from_pairs(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let m = blossom_maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn two_triangles_joined_by_a_bridge() {
+        // Classic blossom test: two triangles {0,1,2} and {3,4,5} joined by
+        // the bridge 2-3. Maximum matching is 3.
+        let g = Graph::from_pairs(
+            6,
+            vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        assert_eq!(blossom_maximum_matching(&g).len(), 3);
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        // The Petersen graph (10 vertices, 15 edges) has a perfect matching of size 5.
+        let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+        let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+        let edges: Vec<(u32, u32)> =
+            outer.iter().chain(spokes.iter()).chain(inner.iter()).copied().collect();
+        let g = Graph::from_pairs(10, edges).unwrap();
+        let m = blossom_maximum_matching(&g);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_graphs() {
+        for seed in 0..20 {
+            let g = gnp(10, 0.3, &mut rng(seed));
+            let blossom = blossom_maximum_matching(&g);
+            assert!(blossom.is_valid_for(&g));
+            let brute = brute_force_maximum_matching_size(&g);
+            assert_eq!(blossom.len(), brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_hopcroft_karp_on_bipartite_graphs() {
+        for seed in 0..5 {
+            let bg = random_bipartite(30, 30, 0.08, &mut rng(seed + 50));
+            let hk = hopcroft_karp_size(&bg);
+            let bl = blossom_maximum_matching(&bg.to_graph()).len();
+            assert_eq!(hk, bl, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn larger_random_graph_is_consistent_with_maximality_bound() {
+        let mut r = rng(99);
+        let g = gnp(300, 0.02, &mut r);
+        let maximum = blossom_maximum_matching(&g);
+        assert!(maximum.is_valid_for(&g));
+        let maximal = crate::greedy::maximal_matching(&g);
+        // maximum >= maximal >= maximum / 2
+        assert!(maximum.len() >= maximal.len());
+        assert!(2 * maximal.len() >= maximum.len());
+    }
+}

@@ -1,0 +1,193 @@
+//! Hopcroft–Karp maximum matching for bipartite graphs in `O(m sqrt(n))`.
+//!
+//! This is the workhorse used by the matching coreset on bipartite instances
+//! (all of the paper's hard distributions are bipartite) — Theorem 1 only
+//! requires *some* maximum matching of each piece, and Hopcroft–Karp provides
+//! it fast enough for the large-n experiments.
+
+use graph::{BipartiteGraph, VertexId};
+use std::collections::VecDeque;
+
+const NIL: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching of the bipartite graph, returned as
+/// `(left, right)` pairs.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
+    let left_n = g.left_n();
+    let right_n = g.right_n();
+    let adj = g.left_adjacency();
+
+    // pair_left[l] = right partner of l (or NIL); pair_right[r] = left partner.
+    let mut pair_left = vec![NIL; left_n];
+    let mut pair_right = vec![NIL; right_n];
+    let mut dist = vec![INF; left_n];
+
+    loop {
+        if !bfs(&adj, &pair_left, &pair_right, &mut dist) {
+            break;
+        }
+        let mut augmented = false;
+        for l in 0..left_n {
+            if pair_left[l] == NIL && dfs(l, &adj, &mut pair_left, &mut pair_right, &mut dist) {
+                augmented = true;
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+
+    (0..left_n)
+        .filter(|&l| pair_left[l] != NIL)
+        .map(|l| (l as VertexId, pair_left[l]))
+        .collect()
+}
+
+/// Computes only the maximum matching *size* (avoids materialising the pairs).
+pub fn hopcroft_karp_size(g: &BipartiteGraph) -> usize {
+    hopcroft_karp(g).len()
+}
+
+fn bfs(
+    adj: &[Vec<VertexId>],
+    pair_left: &[u32],
+    pair_right: &[u32],
+    dist: &mut [u32],
+) -> bool {
+    let mut queue = VecDeque::new();
+    for (l, &p) in pair_left.iter().enumerate() {
+        if p == NIL {
+            dist[l] = 0;
+            queue.push_back(l as u32);
+        } else {
+            dist[l] = INF;
+        }
+    }
+    let mut found_augmenting = false;
+    while let Some(l) = queue.pop_front() {
+        for &r in &adj[l as usize] {
+            let next = pair_right[r as usize];
+            if next == NIL {
+                found_augmenting = true;
+            } else if dist[next as usize] == INF {
+                dist[next as usize] = dist[l as usize] + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    found_augmenting
+}
+
+fn dfs(
+    l: usize,
+    adj: &[Vec<VertexId>],
+    pair_left: &mut [u32],
+    pair_right: &mut [u32],
+    dist: &mut [u32],
+) -> bool {
+    for i in 0..adj[l].len() {
+        let r = adj[l][i] as usize;
+        let next = pair_right[r];
+        let extends = if next == NIL {
+            true
+        } else if dist[next as usize] == dist[l] + 1 {
+            dfs(next as usize, adj, pair_left, pair_right, dist)
+        } else {
+            false
+        };
+        if extends {
+            pair_left[l] = r as u32;
+            pair_right[r] = l as u32;
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::brute_force_maximum_matching_size;
+    use graph::gen::bipartite::{planted_matching_bipartite, random_bipartite};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn assert_is_matching(pairs: &[(VertexId, VertexId)]) {
+        let lefts: HashSet<_> = pairs.iter().map(|&(l, _)| l).collect();
+        let rights: HashSet<_> = pairs.iter().map(|&(_, r)| r).collect();
+        assert_eq!(lefts.len(), pairs.len(), "left endpoints repeat");
+        assert_eq!(rights.len(), pairs.len(), "right endpoints repeat");
+    }
+
+    #[test]
+    fn tiny_cases() {
+        // Empty graph.
+        let g = BipartiteGraph::empty(3, 3);
+        assert!(hopcroft_karp(&g).is_empty());
+
+        // Single edge.
+        let g = BipartiteGraph::from_pairs(2, 2, vec![(0, 1)]).unwrap();
+        assert_eq!(hopcroft_karp(&g), vec![(0, 1)]);
+
+        // Perfect matching on a 3x3 "crown".
+        let g = BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)])
+            .unwrap();
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 3);
+        assert_is_matching(&m);
+    }
+
+    #[test]
+    fn star_is_limited_by_the_centre() {
+        // One left vertex connected to many right vertices: matching size 1.
+        let g = BipartiteGraph::from_pairs(1, 10, (0..10).map(|r| (0, r))).unwrap();
+        assert_eq!(hopcroft_karp_size(&g), 1);
+        // Many left vertices all pointing at one right vertex: size 1.
+        let g = BipartiteGraph::from_pairs(10, 1, (0..10).map(|l| (l, 0))).unwrap();
+        assert_eq!(hopcroft_karp_size(&g), 1);
+    }
+
+    #[test]
+    fn hall_violator_limits_matching() {
+        // 3 left vertices whose joint neighbourhood is just 2 right vertices.
+        let g = BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
+            .unwrap();
+        assert_eq!(hopcroft_karp_size(&g), 2);
+    }
+
+    #[test]
+    fn planted_matching_is_found() {
+        for seed in 0..3 {
+            let (g, planted) = planted_matching_bipartite(120, 0.02, &mut rng(seed));
+            let m = hopcroft_karp(&g);
+            assert_eq!(m.len(), planted.len(), "planted perfect matching must be recovered in size");
+            assert_is_matching(&m);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_graphs() {
+        for seed in 0..10 {
+            let g = random_bipartite(7, 7, 0.3, &mut rng(seed));
+            let hk = hopcroft_karp_size(&g);
+            let brute = brute_force_maximum_matching_size(&g.to_graph());
+            assert_eq!(hk, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn output_edges_exist_in_graph() {
+        let g = random_bipartite(40, 40, 0.08, &mut rng(7));
+        let edge_set: HashSet<_> = g.edges().iter().copied().collect();
+        for pair in hopcroft_karp(&g) {
+            assert!(edge_set.contains(&pair));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Matching algorithms used throughout the coreset reproduction.
+//!
+//! The paper's matching coreset is "any maximum matching of `G^(i)`"
+//! (Theorem 1), its negative control is "an arbitrary maximal matching", and
+//! its analysis relies on the greedy combining process `GreedyMatch`.
+//! This crate supplies every matching primitive those constructions need:
+//!
+//! * [`Matching`] — a validated set of vertex-disjoint edges.
+//! * [`greedy`] — maximal matchings under arbitrary, random or adversarial
+//!   edge orderings.
+//! * [`hopcroft_karp`] — maximum matching in bipartite graphs in
+//!   `O(m sqrt(n))`.
+//! * [`blossom`] — Edmonds' blossom algorithm for maximum matching in general
+//!   graphs.
+//! * [`maximum`] — a front-end that picks Hopcroft–Karp when the graph is
+//!   bipartite and Blossom otherwise.
+//! * [`weighted`] — greedy weighted matching and the Crouch–Stubbs
+//!   weight-class reduction used by the paper's weighted extension.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blossom;
+pub mod greedy;
+pub mod hopcroft_karp;
+pub mod matching;
+pub mod maximum;
+pub mod weighted;
+
+pub use blossom::blossom_maximum_matching;
+pub use greedy::{maximal_matching, maximal_matching_by_key, maximal_matching_shuffled};
+pub use hopcroft_karp::hopcroft_karp;
+pub use matching::Matching;
+pub use maximum::{maximum_matching, MaximumMatchingAlgorithm};
+pub use weighted::{crouch_stubbs_matching, greedy_weighted_matching, WeightedMatching};

@@ -1,0 +1,249 @@
+//! The [`Matching`] type: a set of vertex-disjoint edges with validation
+//! helpers used by every algorithm and by the coreset composition step.
+
+use graph::{Edge, Graph, VertexId};
+use std::collections::HashSet;
+
+/// A matching: a set of edges no two of which share an endpoint.
+///
+/// The structure does not borrow the graph it was computed from; validity
+/// *with respect to a graph* (all edges present) is checked explicitly via
+/// [`Matching::is_valid_for`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    edges: Vec<Edge>,
+}
+
+impl Matching {
+    /// The empty matching.
+    pub fn new() -> Self {
+        Matching { edges: Vec::new() }
+    }
+
+    /// Builds a matching from edges, panicking if two edges share an endpoint.
+    ///
+    /// Use [`Matching::try_from_edges`] for a non-panicking variant.
+    pub fn from_edges(edges: Vec<Edge>) -> Self {
+        Self::try_from_edges(edges).expect("edges do not form a matching")
+    }
+
+    /// Builds a matching from edges, returning `None` if two edges share an
+    /// endpoint.
+    pub fn try_from_edges(edges: Vec<Edge>) -> Option<Self> {
+        let mut seen: HashSet<VertexId> = HashSet::with_capacity(edges.len() * 2);
+        for e in &edges {
+            if !seen.insert(e.u) || !seen.insert(e.v) {
+                return None;
+            }
+        }
+        Some(Matching { edges })
+    }
+
+    /// Number of edges in the matching.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the matching has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The matched edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Consumes the matching, returning its edges.
+    #[inline]
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// The set of matched vertices.
+    pub fn matched_vertices(&self) -> HashSet<VertexId> {
+        let mut s = HashSet::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            s.insert(e.u);
+            s.insert(e.v);
+        }
+        s
+    }
+
+    /// Returns `true` if `v` is an endpoint of some matched edge.
+    pub fn covers(&self, v: VertexId) -> bool {
+        self.edges.iter().any(|e| e.is_incident(v))
+    }
+
+    /// Returns the partner of `v` in the matching, if matched.
+    pub fn mate(&self, v: VertexId) -> Option<VertexId> {
+        self.edges.iter().find(|e| e.is_incident(v)).map(|e| e.other(v))
+    }
+
+    /// A mate array indexed by vertex id (length `n`).
+    pub fn mate_array(&self, n: usize) -> Vec<Option<VertexId>> {
+        let mut mate = vec![None; n];
+        for e in &self.edges {
+            mate[e.u as usize] = Some(e.v);
+            mate[e.v as usize] = Some(e.u);
+        }
+        mate
+    }
+
+    /// Adds an edge to the matching if neither endpoint is already matched;
+    /// returns `true` on success. This is the elementary step of the paper's
+    /// `GreedyMatch` process.
+    pub fn try_add(&mut self, e: Edge, matched: &mut [bool]) -> bool {
+        let (u, v) = (e.u as usize, e.v as usize);
+        if matched[u] || matched[v] {
+            return false;
+        }
+        matched[u] = true;
+        matched[v] = true;
+        self.edges.push(e);
+        true
+    }
+
+    /// Checks that every matched edge is present in `g` and that the edges are
+    /// pairwise disjoint (the latter is an invariant, re-checked defensively).
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        let edge_set: HashSet<Edge> = g.edges().iter().copied().collect();
+        let mut seen: HashSet<VertexId> = HashSet::new();
+        for e in &self.edges {
+            if !edge_set.contains(e) {
+                return false;
+            }
+            if !seen.insert(e.u) || !seen.insert(e.v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks maximality in `g`: no edge of `g` has both endpoints unmatched.
+    pub fn is_maximal_in(&self, g: &Graph) -> bool {
+        let matched = self.matched_vertices();
+        g.edges().iter().all(|e| matched.contains(&e.u) || matched.contains(&e.v))
+    }
+}
+
+impl From<Vec<Edge>> for Matching {
+    fn from(edges: Vec<Edge>) -> Self {
+        Matching::from_edges(edges)
+    }
+}
+
+/// Computes the exact maximum matching size of small graphs by exhaustive
+/// search over edge subsets (exponential; intended for cross-checking the real
+/// algorithms in tests, `m <= ~20`).
+pub fn brute_force_maximum_matching_size(g: &Graph) -> usize {
+    fn recurse(edges: &[Edge], used: &mut Vec<bool>, idx: usize, size: usize, best: &mut usize) {
+        *best = (*best).max(size);
+        if idx == edges.len() {
+            return;
+        }
+        // Prune: even taking every remaining edge cannot beat best.
+        if size + (edges.len() - idx) <= *best {
+            return;
+        }
+        let e = edges[idx];
+        // Skip edge idx.
+        recurse(edges, used, idx + 1, size, best);
+        // Take edge idx if possible.
+        if !used[e.u as usize] && !used[e.v as usize] {
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+            recurse(edges, used, idx + 1, size + 1, best);
+            used[e.u as usize] = false;
+            used[e.v as usize] = false;
+        }
+    }
+    let mut best = 0;
+    let mut used = vec![false; g.n()];
+    recurse(g.edges(), &mut used, 0, 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.is_valid_for(&path4()));
+        assert!(!m.is_maximal_in(&path4()));
+    }
+
+    #[test]
+    fn from_edges_validates_disjointness() {
+        assert!(Matching::try_from_edges(vec![Edge::new(0, 1), Edge::new(2, 3)]).is_some());
+        assert!(Matching::try_from_edges(vec![Edge::new(0, 1), Edge::new(1, 2)]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not form a matching")]
+    fn from_edges_panics_on_conflict() {
+        let _ = Matching::from_edges(vec![Edge::new(0, 1), Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn mates_and_coverage() {
+        let m = Matching::from_edges(vec![Edge::new(0, 1), Edge::new(2, 3)]);
+        assert!(m.covers(0));
+        assert!(m.covers(3));
+        assert!(!m.covers(4));
+        assert_eq!(m.mate(0), Some(1));
+        assert_eq!(m.mate(3), Some(2));
+        assert_eq!(m.mate(7), None);
+        let mates = m.mate_array(5);
+        assert_eq!(mates[0], Some(1));
+        assert_eq!(mates[4], None);
+        assert_eq!(m.matched_vertices().len(), 4);
+    }
+
+    #[test]
+    fn try_add_respects_matched_vertices() {
+        let mut m = Matching::new();
+        let mut matched = vec![false; 5];
+        assert!(m.try_add(Edge::new(0, 1), &mut matched));
+        assert!(!m.try_add(Edge::new(1, 2), &mut matched));
+        assert!(m.try_add(Edge::new(3, 4), &mut matched));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn validity_and_maximality() {
+        let g = path4();
+        let m = Matching::from_edges(vec![Edge::new(1, 2)]);
+        assert!(m.is_valid_for(&g));
+        assert!(m.is_maximal_in(&g));
+
+        let m2 = Matching::from_edges(vec![Edge::new(0, 1)]);
+        assert!(m2.is_valid_for(&g));
+        assert!(!m2.is_maximal_in(&g), "edge (2,3) is still free");
+
+        let foreign = Matching::from_edges(vec![Edge::new(0, 3)]);
+        assert!(!foreign.is_valid_for(&g));
+    }
+
+    #[test]
+    fn brute_force_on_small_graphs() {
+        assert_eq!(brute_force_maximum_matching_size(&path4()), 2);
+        let triangle = Graph::from_pairs(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(brute_force_maximum_matching_size(&triangle), 1);
+        let two_triangles =
+            Graph::from_pairs(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        assert_eq!(brute_force_maximum_matching_size(&two_triangles), 2);
+        assert_eq!(brute_force_maximum_matching_size(&Graph::empty(3)), 0);
+    }
+}

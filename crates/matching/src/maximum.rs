@@ -1,0 +1,187 @@
+//! Front-end for maximum matching on arbitrary graphs.
+//!
+//! Theorem 1 of the paper lets every machine run *any* maximum-matching
+//! algorithm on its piece. [`maximum_matching`] detects bipartiteness and
+//! dispatches to Hopcroft–Karp when possible (much faster) and to the blossom
+//! algorithm otherwise; [`MaximumMatchingAlgorithm`] lets callers force a
+//! specific algorithm, which the experiments use to confirm that the coreset
+//! quality is indeed independent of the algorithm choice.
+
+use crate::blossom::blossom_maximum_matching;
+use crate::hopcroft_karp::hopcroft_karp;
+use crate::matching::Matching;
+use graph::{BipartiteGraph, Edge, Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Which maximum-matching algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaximumMatchingAlgorithm {
+    /// Detect bipartiteness; use Hopcroft–Karp when bipartite, Blossom
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Always run Edmonds' blossom algorithm.
+    Blossom,
+    /// Run Hopcroft–Karp on the graph's bipartition.
+    ///
+    /// # Panics
+    ///
+    /// The dispatcher panics if the graph is not bipartite.
+    HopcroftKarp,
+}
+
+/// Computes a maximum matching of `g` using the requested algorithm.
+pub fn maximum_matching_with(g: &Graph, algorithm: MaximumMatchingAlgorithm) -> Matching {
+    match algorithm {
+        MaximumMatchingAlgorithm::Blossom => blossom_maximum_matching(g),
+        MaximumMatchingAlgorithm::HopcroftKarp => {
+            let coloring = two_coloring(g).expect("HopcroftKarp requested on a non-bipartite graph");
+            hopcroft_karp_on_coloring(g, &coloring)
+        }
+        MaximumMatchingAlgorithm::Auto => match two_coloring(g) {
+            Some(coloring) => hopcroft_karp_on_coloring(g, &coloring),
+            None => blossom_maximum_matching(g),
+        },
+    }
+}
+
+/// Computes a maximum matching of `g` with the default (auto) algorithm.
+pub fn maximum_matching(g: &Graph) -> Matching {
+    maximum_matching_with(g, MaximumMatchingAlgorithm::Auto)
+}
+
+/// Attempts to 2-colour the graph; returns `Some(color)` (0/1 per vertex) if
+/// bipartite and `None` if an odd cycle exists. Isolated vertices get colour 0.
+pub fn two_coloring(g: &Graph) -> Option<Vec<u8>> {
+    let adj = g.adjacency();
+    let mut color = vec![u8::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    for start in 0..g.n() {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        queue.push_back(start as u32);
+        while let Some(v) = queue.pop_front() {
+            for &w in adj.neighbors(v) {
+                if color[w as usize] == u8::MAX {
+                    color[w as usize] = 1 - color[v as usize];
+                    queue.push_back(w);
+                } else if color[w as usize] == color[v as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Runs Hopcroft–Karp on a graph with a known 2-colouring and maps the result
+/// back to the graph's own vertex ids.
+fn hopcroft_karp_on_coloring(g: &Graph, color: &[u8]) -> Matching {
+    // Map colour-0 vertices to left ids and colour-1 vertices to right ids.
+    let mut left_ids = Vec::new();
+    let mut right_ids = Vec::new();
+    let mut to_local = vec![0u32; g.n()];
+    for v in 0..g.n() {
+        if color[v] == 0 {
+            to_local[v] = left_ids.len() as u32;
+            left_ids.push(v as VertexId);
+        } else {
+            to_local[v] = right_ids.len() as u32;
+            right_ids.push(v as VertexId);
+        }
+    }
+    let pairs: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            if color[e.u as usize] == 0 {
+                (to_local[e.u as usize], to_local[e.v as usize])
+            } else {
+                (to_local[e.v as usize], to_local[e.u as usize])
+            }
+        })
+        .collect();
+    let bg = BipartiteGraph::from_pairs(left_ids.len(), right_ids.len(), pairs)
+        .expect("local ids are in range by construction");
+    let matched = hopcroft_karp(&bg);
+    let edges = matched
+        .into_iter()
+        .map(|(l, r)| Edge::new(left_ids[l as usize], right_ids[r as usize]))
+        .collect();
+    Matching::from_edges(edges)
+}
+
+/// Converts a bipartite matching (left, right) pairs into a [`Matching`] over
+/// the ids of [`BipartiteGraph::to_graph`] (right ids offset by `left_n`).
+pub fn bipartite_pairs_to_matching(g: &BipartiteGraph, pairs: &[(VertexId, VertexId)]) -> Matching {
+    let offset = g.left_n() as VertexId;
+    Matching::from_edges(pairs.iter().map(|&(l, r)| Edge::new(l, offset + r)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::brute_force_maximum_matching_size;
+    use graph::gen::er::gnp;
+    use graph::gen::structured::{cycle, path, star};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn two_coloring_detects_bipartiteness() {
+        assert!(two_coloring(&path(6)).is_some());
+        assert!(two_coloring(&cycle(6)).is_some());
+        assert!(two_coloring(&cycle(5)).is_none());
+        assert!(two_coloring(&star(4)).is_some());
+        assert!(two_coloring(&Graph::empty(3)).is_some());
+    }
+
+    #[test]
+    fn auto_matches_brute_force() {
+        for seed in 0..15 {
+            let g = gnp(11, 0.25, &mut rng(seed));
+            let m = maximum_matching(&g);
+            assert!(m.is_valid_for(&g));
+            assert_eq!(m.len(), brute_force_maximum_matching_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forced_algorithms_agree() {
+        // Even cycles are bipartite so all three choices are legal.
+        let g = cycle(8);
+        let auto = maximum_matching_with(&g, MaximumMatchingAlgorithm::Auto).len();
+        let hk = maximum_matching_with(&g, MaximumMatchingAlgorithm::HopcroftKarp).len();
+        let bl = maximum_matching_with(&g, MaximumMatchingAlgorithm::Blossom).len();
+        assert_eq!(auto, 4);
+        assert_eq!(hk, 4);
+        assert_eq!(bl, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-bipartite")]
+    fn hopcroft_karp_on_odd_cycle_panics() {
+        let _ = maximum_matching_with(&cycle(5), MaximumMatchingAlgorithm::HopcroftKarp);
+    }
+
+    #[test]
+    fn bipartite_pairs_conversion() {
+        let bg = BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (1, 2)]).unwrap();
+        let m = bipartite_pairs_to_matching(&bg, &[(0, 0), (1, 2)]);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid_for(&bg.to_graph()));
+    }
+
+    #[test]
+    fn auto_uses_blossom_on_odd_structures_correctly() {
+        // Two triangles sharing nothing: non-bipartite, maximum matching 2.
+        let g = Graph::from_pairs(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        assert_eq!(maximum_matching(&g).len(), 2);
+    }
+}

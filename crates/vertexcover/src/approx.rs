@@ -1,0 +1,142 @@
+//! Approximation algorithms for minimum vertex cover.
+//!
+//! * [`two_approx_cover`] — both endpoints of a maximal matching; the classic
+//!   2-approximation the coordinator runs on the union of the residual
+//!   subgraphs (paper, Section 3.2: "the vertex cover of ∪ G_Δ^(i) can be
+//!   computed to within a factor of 2").
+//! * [`greedy_degree_cover`] — repeatedly take a maximum-degree vertex; an
+//!   `H_Δ = O(log n)`-approximation used as an additional baseline.
+
+use crate::cover::VertexCover;
+use graph::{Graph, VertexId};
+use matching::greedy::maximal_matching;
+use std::collections::BinaryHeap;
+
+/// 2-approximate vertex cover: take both endpoints of every edge of a maximal
+/// matching.
+pub fn two_approx_cover(g: &Graph) -> VertexCover {
+    let m = maximal_matching(g);
+    let mut cover = VertexCover::new();
+    for e in m.edges() {
+        cover.insert(e.u);
+        cover.insert(e.v);
+    }
+    cover
+}
+
+/// Greedy maximum-degree vertex cover: repeatedly add the vertex covering the
+/// most uncovered edges. `O(m log n)` with a lazy-deletion heap.
+pub fn greedy_degree_cover(g: &Graph) -> VertexCover {
+    let adj = g.adjacency();
+    let n = g.n();
+    let mut remaining_degree: Vec<usize> = (0..n as VertexId).map(|v| adj.degree(v)).collect();
+    let mut covered = vec![false; n];
+    let mut uncovered_edges = g.m();
+
+    // Max-heap of (degree, vertex); entries can be stale, so re-check on pop.
+    let mut heap: BinaryHeap<(usize, VertexId)> = (0..n as VertexId)
+        .filter(|&v| remaining_degree[v as usize] > 0)
+        .map(|v| (remaining_degree[v as usize], v))
+        .collect();
+
+    let mut cover = VertexCover::new();
+    while uncovered_edges > 0 {
+        let (claimed_degree, v) = heap.pop().expect("uncovered edges remain so the heap is non-empty");
+        if covered[v as usize] || claimed_degree != remaining_degree[v as usize] {
+            continue; // stale entry
+        }
+        if remaining_degree[v as usize] == 0 {
+            continue;
+        }
+        // Take v.
+        cover.insert(v);
+        covered[v as usize] = true;
+        for &w in adj.neighbors(v) {
+            if !covered[w as usize] {
+                uncovered_edges -= 1;
+                remaining_degree[w as usize] -= 1;
+                if remaining_degree[w as usize] > 0 {
+                    heap.push((remaining_degree[w as usize], w));
+                }
+            }
+        }
+        remaining_degree[v as usize] = 0;
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_cover_branch_and_bound;
+    use graph::gen::er::gnp;
+    use graph::gen::structured::{complete, cycle, path, star};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn two_approx_covers_and_is_bounded() {
+        for seed in 0..10 {
+            let g = gnp(40, 0.08, &mut rng(seed));
+            let cover = two_approx_cover(&g);
+            assert!(cover.covers(&g));
+        }
+    }
+
+    #[test]
+    fn two_approx_ratio_against_exact_on_small_graphs() {
+        for seed in 0..10 {
+            let g = gnp(12, 0.25, &mut rng(seed + 50));
+            let approx = two_approx_cover(&g);
+            let opt = exact_cover_branch_and_bound(&g);
+            assert!(approx.covers(&g));
+            assert!(approx.len() <= 2 * opt.len().max(1), "approx {} opt {}", approx.len(), opt.len());
+        }
+    }
+
+    #[test]
+    fn greedy_degree_covers() {
+        for seed in 0..10 {
+            let g = gnp(40, 0.1, &mut rng(seed + 100));
+            let cover = greedy_degree_cover(&g);
+            assert!(cover.covers(&g));
+        }
+    }
+
+    #[test]
+    fn greedy_degree_is_optimal_on_stars() {
+        let g = star(20);
+        let cover = greedy_degree_cover(&g);
+        assert_eq!(cover.len(), 1);
+        assert!(cover.contains(0));
+    }
+
+    #[test]
+    fn structured_graphs() {
+        // Path on 4 vertices: optimum 2.
+        let g = path(4);
+        assert!(two_approx_cover(&g).covers(&g));
+        assert!(greedy_degree_cover(&g).covers(&g));
+        assert!(greedy_degree_cover(&g).len() <= 3);
+
+        // Even cycle: optimum n/2.
+        let c = cycle(8);
+        assert!(greedy_degree_cover(&c).covers(&c));
+
+        // Complete graph K5: optimum 4.
+        let k = complete(5);
+        assert_eq!(greedy_degree_cover(&k).len(), 4);
+        assert!(two_approx_cover(&k).covers(&k));
+    }
+
+    #[test]
+    fn empty_graph_needs_no_cover() {
+        let g = Graph::empty(7);
+        assert!(two_approx_cover(&g).is_empty());
+        assert!(greedy_degree_cover(&g).is_empty());
+    }
+}

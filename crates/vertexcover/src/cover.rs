@@ -1,0 +1,135 @@
+//! The [`VertexCover`] type: a set of vertices with coverage validation.
+
+use graph::{Graph, VertexId};
+use std::collections::HashSet;
+
+/// A set of vertices intended to cover every edge of some graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VertexCover {
+    vertices: HashSet<VertexId>,
+}
+
+impl VertexCover {
+    /// The empty vertex set.
+    pub fn new() -> Self {
+        VertexCover { vertices: HashSet::new() }
+    }
+
+    /// Builds a cover from an iterator of vertices (duplicates are merged).
+    pub fn from_vertices<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        VertexCover { vertices: iter.into_iter().collect() }
+    }
+
+    /// Number of vertices in the cover.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` if the cover is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Returns `true` if `v` is in the cover.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// Adds a vertex, returning `true` if it was not already present.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        self.vertices.insert(v)
+    }
+
+    /// Adds every vertex of `other` into `self`.
+    pub fn extend_from(&mut self, other: &VertexCover) {
+        self.vertices.extend(other.vertices.iter().copied());
+    }
+
+    /// The vertices of the cover in unspecified order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+
+    /// The vertices of the cover, sorted (for deterministic reporting).
+    pub fn sorted_vertices(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self.vertices.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Checks that every edge of `g` has at least one endpoint in the cover.
+    pub fn covers(&self, g: &Graph) -> bool {
+        g.edges().iter().all(|e| self.vertices.contains(&e.u) || self.vertices.contains(&e.v))
+    }
+
+    /// Returns the edges of `g` *not* covered (useful in failure diagnostics
+    /// and in the lower-bound experiments, which count exactly how often the
+    /// hidden edge `e*` escapes).
+    pub fn uncovered_edges<'a>(&'a self, g: &'a Graph) -> impl Iterator<Item = graph::Edge> + 'a {
+        g.edges()
+            .iter()
+            .copied()
+            .filter(move |e| !self.vertices.contains(&e.u) && !self.vertices.contains(&e.v))
+    }
+
+    /// Unions several covers into one.
+    pub fn union(covers: &[&VertexCover]) -> VertexCover {
+        let mut out = VertexCover::new();
+        for c in covers {
+            out.extend_from(c);
+        }
+        out
+    }
+}
+
+impl FromIterator<VertexId> for VertexCover {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        VertexCover::from_vertices(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_operations() {
+        let mut c = VertexCover::new();
+        assert!(c.is_empty());
+        assert!(c.insert(3));
+        assert!(!c.insert(3));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(3));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn coverage_check() {
+        let g = path4();
+        let middle = VertexCover::from_vertices(vec![1, 2]);
+        assert!(middle.covers(&g));
+        let ends = VertexCover::from_vertices(vec![0, 3]);
+        assert!(!ends.covers(&g));
+        assert_eq!(ends.uncovered_edges(&g).count(), 1);
+        assert!(VertexCover::new().covers(&Graph::empty(5)));
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let a = VertexCover::from_vertices(vec![0, 1]);
+        let b = VertexCover::from_vertices(vec![1, 2]);
+        let u = VertexCover::union(&[&a, &b]);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.sorted_vertices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let c: VertexCover = vec![5, 5, 6].into_iter().collect();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Exact minimum vertex cover.
+//!
+//! Two exact routines back the experiments' ground truth:
+//!
+//! * [`exact_cover_branch_and_bound`] — branch-and-bound with degree-1 /
+//!   degree-0 reductions, practical for graphs whose cover has a few dozen
+//!   vertices; used to validate approximation ratios on small instances.
+//! * [`koenig_cover`] — König's theorem for bipartite graphs: a minimum vertex
+//!   cover of the same size as the maximum matching, extracted from the
+//!   Hopcroft–Karp output via alternating reachability. This scales to the
+//!   large bipartite instances (all of the paper's hard distributions).
+
+use crate::cover::VertexCover;
+use graph::{BipartiteGraph, Graph, VertexId};
+use matching::hopcroft_karp::hopcroft_karp;
+use std::collections::VecDeque;
+
+/// Exact minimum vertex cover by branch and bound.
+///
+/// Intended for small instances (tests and ratio measurements); the search
+/// applies standard reductions — isolated vertices are ignored and a vertex
+/// adjacent to a degree-1 vertex is always taken — and branches on a
+/// maximum-degree vertex (`take it` vs `take its whole neighbourhood`).
+pub fn exact_cover_branch_and_bound(g: &Graph) -> VertexCover {
+    // Work on adjacency sets that we can edit.
+    let adj = g.adjacency();
+    let mut neighbors: Vec<Vec<VertexId>> =
+        (0..g.n() as VertexId).map(|v| adj.neighbors(v).to_vec()).collect();
+    let mut best: Option<Vec<VertexId>> = None;
+    let mut current: Vec<VertexId> = Vec::new();
+    branch(&mut neighbors, &mut current, &mut best);
+    VertexCover::from_vertices(best.unwrap_or_default())
+}
+
+/// Undo information for one `take_vertex` call: for each touched vertex, its
+/// neighbour list before the call.
+type UndoLog = Vec<(VertexId, Vec<VertexId>)>;
+
+fn branch(
+    neighbors: &mut Vec<Vec<VertexId>>,
+    current: &mut Vec<VertexId>,
+    best: &mut Option<Vec<VertexId>>,
+) {
+    // Prune by current best.
+    if let Some(b) = best {
+        if current.len() >= b.len() {
+            return;
+        }
+    }
+
+    // Reduction: repeatedly take the neighbour of any degree-1 vertex.
+    let mut reduced: Vec<(VertexId, UndoLog)> = Vec::new();
+    loop {
+        let mut applied = false;
+        for v in 0..neighbors.len() {
+            if neighbors[v].len() == 1 {
+                let w = neighbors[v][0];
+                let removed = take_vertex(neighbors, w);
+                current.push(w);
+                reduced.push((w, removed));
+                applied = true;
+                break;
+            }
+        }
+        if !applied {
+            break;
+        }
+        if let Some(b) = best {
+            if current.len() >= b.len() {
+                // Undo reductions and bail.
+                for (w, removed) in reduced.into_iter().rev() {
+                    current.pop();
+                    undo_take(neighbors, w, removed);
+                }
+                return;
+            }
+        }
+    }
+
+    // Find a maximum-degree vertex to branch on.
+    let pivot = (0..neighbors.len()).max_by_key(|&v| neighbors[v].len()).filter(|&v| !neighbors[v].is_empty());
+
+    match pivot {
+        None => {
+            // No edges remain: current is a cover.
+            if best.as_ref().is_none_or(|b| current.len() < b.len()) {
+                *best = Some(current.clone());
+            }
+        }
+        Some(v) => {
+            let v = v as VertexId;
+            // Branch 1: take v.
+            let removed = take_vertex(neighbors, v);
+            current.push(v);
+            branch(neighbors, current, best);
+            current.pop();
+            undo_take(neighbors, v, removed);
+
+            // Branch 2: exclude v, therefore take all of N(v).
+            let nbrs = neighbors[v as usize].clone();
+            let mut undo_stack = Vec::with_capacity(nbrs.len());
+            for &w in &nbrs {
+                undo_stack.push((w, take_vertex(neighbors, w)));
+                current.push(w);
+            }
+            branch(neighbors, current, best);
+            for _ in &nbrs {
+                current.pop();
+            }
+            for (w, removed) in undo_stack.into_iter().rev() {
+                undo_take(neighbors, w, removed);
+            }
+        }
+    }
+
+    // Undo degree-1 reductions.
+    for (w, removed) in reduced.into_iter().rev() {
+        current.pop();
+        undo_take(neighbors, w, removed);
+    }
+}
+
+/// Removes `v` from the graph (all incident edges); returns the list of
+/// (neighbour, position-restoring payload) needed to undo.
+fn take_vertex(neighbors: &mut [Vec<VertexId>], v: VertexId) -> Vec<(VertexId, Vec<VertexId>)> {
+    let mine = std::mem::take(&mut neighbors[v as usize]);
+    let mut removed = Vec::with_capacity(mine.len() + 1);
+    for &w in &mine {
+        let old = neighbors[w as usize].clone();
+        neighbors[w as usize].retain(|&x| x != v);
+        removed.push((w, old));
+    }
+    removed.push((v, mine));
+    removed
+}
+
+fn undo_take(neighbors: &mut [Vec<VertexId>], v: VertexId, removed: Vec<(VertexId, Vec<VertexId>)>) {
+    for (w, old) in removed {
+        if w == v {
+            neighbors[v as usize] = old;
+        } else {
+            neighbors[w as usize] = old;
+        }
+    }
+}
+
+/// Minimum vertex cover of a bipartite graph via König's theorem.
+///
+/// Computes a maximum matching with Hopcroft–Karp, runs the alternating-path
+/// reachability from unmatched left vertices, and returns
+/// `(L \ Z) ∪ (R ∩ Z)` where `Z` is the reachable set. The result is returned
+/// in the vertex ids of [`BipartiteGraph::to_graph`] (right ids offset by
+/// `left_n`) so that it can be validated against the flattened graph.
+pub fn koenig_cover(g: &BipartiteGraph) -> VertexCover {
+    let matching = hopcroft_karp(g);
+    let left_n = g.left_n();
+    let right_n = g.right_n();
+    let mut mate_left = vec![u32::MAX; left_n];
+    let mut mate_right = vec![u32::MAX; right_n];
+    for &(l, r) in &matching {
+        mate_left[l as usize] = r;
+        mate_right[r as usize] = l;
+    }
+    let adj = g.left_adjacency();
+
+    // Alternating BFS from unmatched left vertices: left->right over
+    // non-matching edges, right->left over matching edges.
+    let mut left_reached = vec![false; left_n];
+    let mut right_reached = vec![false; right_n];
+    let mut queue = VecDeque::new();
+    for l in 0..left_n {
+        if mate_left[l] == u32::MAX {
+            left_reached[l] = true;
+            queue.push_back(l as u32);
+        }
+    }
+    while let Some(l) = queue.pop_front() {
+        for &r in &adj[l as usize] {
+            if mate_left[l as usize] == r {
+                continue; // matching edge: not usable in this direction
+            }
+            if !right_reached[r as usize] {
+                right_reached[r as usize] = true;
+                let back = mate_right[r as usize];
+                if back != u32::MAX && !left_reached[back as usize] {
+                    left_reached[back as usize] = true;
+                    queue.push_back(back);
+                }
+            }
+        }
+    }
+
+    let mut cover = VertexCover::new();
+    for (l, reached) in left_reached.iter().enumerate() {
+        if !reached {
+            cover.insert(l as VertexId);
+        }
+    }
+    for (r, reached) in right_reached.iter().enumerate() {
+        if *reached {
+            cover.insert((left_n + r) as VertexId);
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen::bipartite::random_bipartite;
+    use graph::gen::er::gnp;
+    use graph::gen::structured::{complete, cycle, path, star, star_forest};
+    use matching::hopcroft_karp::hopcroft_karp_size;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Exhaustive minimum vertex cover size for tiny graphs (cross-check).
+    fn brute_force_vc_size(g: &Graph) -> usize {
+        let n = g.n();
+        assert!(n <= 20, "brute force only for tiny graphs");
+        (0..(1u32 << n))
+            .filter(|mask| {
+                g.edges()
+                    .iter()
+                    .all(|e| mask & (1 << e.u) != 0 || mask & (1 << e.v) != 0)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn exact_on_structured_graphs() {
+        assert_eq!(exact_cover_branch_and_bound(&path(4)).len(), 2);
+        assert_eq!(exact_cover_branch_and_bound(&path(5)).len(), 2);
+        assert_eq!(exact_cover_branch_and_bound(&cycle(5)).len(), 3);
+        assert_eq!(exact_cover_branch_and_bound(&cycle(6)).len(), 3);
+        assert_eq!(exact_cover_branch_and_bound(&star(9)).len(), 1);
+        assert_eq!(exact_cover_branch_and_bound(&complete(6)).len(), 5);
+        assert_eq!(exact_cover_branch_and_bound(&star_forest(3, 4)).len(), 3);
+        assert_eq!(exact_cover_branch_and_bound(&Graph::empty(5)).len(), 0);
+    }
+
+    #[test]
+    fn exact_output_is_a_cover_and_matches_brute_force() {
+        for seed in 0..12 {
+            let g = gnp(12, 0.3, &mut rng(seed));
+            let cover = exact_cover_branch_and_bound(&g);
+            assert!(cover.covers(&g), "seed {seed}");
+            assert_eq!(cover.len(), brute_force_vc_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn koenig_size_equals_matching_size() {
+        for seed in 0..8 {
+            let bg = random_bipartite(25, 25, 0.1, &mut rng(seed + 20));
+            let cover = koenig_cover(&bg);
+            let mm = hopcroft_karp_size(&bg);
+            assert_eq!(cover.len(), mm, "König: |min VC| must equal |max matching| (seed {seed})");
+            assert!(cover.covers(&bg.to_graph()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn koenig_on_structured_bipartite_graphs() {
+        // Complete bipartite K_{3,5}: min VC = 3.
+        let g = BipartiteGraph::from_pairs(
+            3,
+            5,
+            (0..3u32).flat_map(|l| (0..5u32).map(move |r| (l, r))),
+        )
+        .unwrap();
+        let cover = koenig_cover(&g);
+        assert_eq!(cover.len(), 3);
+        assert!(cover.covers(&g.to_graph()));
+
+        // Perfect matching of size 4: min VC = 4.
+        let g = BipartiteGraph::from_pairs(4, 4, (0..4u32).map(|i| (i, i))).unwrap();
+        assert_eq!(koenig_cover(&g).len(), 4);
+
+        // Empty bipartite graph.
+        let g = BipartiteGraph::empty(3, 3);
+        assert_eq!(koenig_cover(&g).len(), 0);
+    }
+
+    #[test]
+    fn exact_agrees_with_koenig_on_small_bipartite_graphs() {
+        for seed in 0..6 {
+            let bg = random_bipartite(7, 7, 0.25, &mut rng(seed + 40));
+            let exact = exact_cover_branch_and_bound(&bg.to_graph());
+            let koenig = koenig_cover(&bg);
+            assert_eq!(exact.len(), koenig.len(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Vertex-cover algorithms for the coreset reproduction.
+//!
+//! The vertex-cover coreset of the paper (Theorem 2) outputs a *fixed* vertex
+//! set plus a sparse residual subgraph; the coordinator covers the residual
+//! union with any 2-approximation. This crate supplies:
+//!
+//! * [`VertexCover`] — a validated vertex set with coverage checks.
+//! * [`approx`] — the matching-based 2-approximation and the greedy
+//!   max-degree `O(log n)`-approximation.
+//! * [`peeling`] — the Parnas–Ron iterative peeling process the coreset is
+//!   built from.
+//! * [`exact`] — exact minimum vertex cover: branch-and-bound for small
+//!   general graphs and König's theorem (via Hopcroft–Karp) for bipartite
+//!   graphs, used as ground truth in the experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod approx;
+pub mod cover;
+pub mod exact;
+pub mod lp;
+pub mod peeling;
+
+pub use approx::{greedy_degree_cover, two_approx_cover};
+pub use cover::VertexCover;
+pub use exact::{exact_cover_branch_and_bound, koenig_cover};
+pub use lp::{lp_vertex_cover, HalfIntegralSolution};
+pub use peeling::{parnas_ron_peeling, PeelingOutcome};

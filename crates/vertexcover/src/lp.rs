@@ -1,0 +1,138 @@
+//! The half-integral LP relaxation of vertex cover, solved combinatorially.
+//!
+//! The linear-programming relaxation of minimum vertex cover always has an
+//! optimal solution with values in `{0, 1/2, 1}` (Nemhauser–Trotter), and that
+//! solution can be computed exactly with one bipartite matching on the
+//! *double cover* of the graph: make two copies `v_L, v_R` of every vertex,
+//! connect `u_L — v_R` and `v_L — u_R` for every edge `(u, v)`, take a minimum
+//! vertex cover of this bipartite graph via König's theorem, and set
+//! `x_v = (|{v_L, v_R} ∩ C|) / 2`.
+//!
+//! The rounded set `{v : x_v >= 1/2}` is the classic LP-based 2-approximation,
+//! and the LP value `Σ x_v` is a lower bound on the optimum that the
+//! experiments use as a tighter reference than the matching bound on
+//! non-bipartite inputs.
+
+use crate::cover::VertexCover;
+use graph::{BipartiteGraph, Graph, VertexId};
+
+/// The half-integral optimum of the vertex-cover LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalfIntegralSolution {
+    /// Per-vertex value, each 0.0, 0.5 or 1.0.
+    pub values: Vec<f64>,
+}
+
+impl HalfIntegralSolution {
+    /// The LP objective value `Σ x_v` — a lower bound on the minimum vertex
+    /// cover size.
+    pub fn objective(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// The standard rounding: every vertex with `x_v >= 1/2`.
+    /// This is a feasible vertex cover of size at most `2 * objective()`,
+    /// hence a 2-approximation.
+    pub fn rounded_cover(&self) -> VertexCover {
+        VertexCover::from_vertices(
+            self.values
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x >= 0.5)
+                .map(|(v, _)| v as VertexId),
+        )
+    }
+}
+
+/// Solves the vertex-cover LP relaxation exactly (half-integral optimum) via
+/// König's theorem on the bipartite double cover.
+pub fn lp_vertex_cover(g: &Graph) -> HalfIntegralSolution {
+    let n = g.n();
+    // Double cover: left copy and right copy of every vertex.
+    let pairs = g
+        .edges()
+        .iter()
+        .flat_map(|e| [(e.u, e.v), (e.v, e.u)]);
+    let double = BipartiteGraph::from_pairs(n, n, pairs)
+        .expect("double-cover ids are in range by construction");
+    let cover = crate::exact::koenig_cover(&double);
+
+    let mut values = vec![0.0f64; n];
+    for v in cover.vertices() {
+        // Vertices 0..n are left copies, n..2n are right copies.
+        let original = if (v as usize) < n { v as usize } else { v as usize - n };
+        values[original] += 0.5;
+    }
+    HalfIntegralSolution { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_cover_branch_and_bound;
+    use graph::gen::er::gnp;
+    use graph::gen::structured::{complete, cycle, path, star};
+    use matching::maximum::maximum_matching;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn lp_values_are_half_integral_and_feasible() {
+        for seed in 0..10 {
+            let g = gnp(40, 0.1, &mut rng(seed));
+            let sol = lp_vertex_cover(&g);
+            for &x in &sol.values {
+                assert!(x == 0.0 || x == 0.5 || x == 1.0, "value {x} is not half-integral");
+            }
+            // LP feasibility: x_u + x_v >= 1 for every edge.
+            for e in g.edges() {
+                assert!(
+                    sol.values[e.u as usize] + sol.values[e.v as usize] >= 1.0 - 1e-9,
+                    "edge {e:?} violated"
+                );
+            }
+            // Rounded cover is feasible.
+            assert!(sol.rounded_cover().covers(&g));
+        }
+    }
+
+    #[test]
+    fn lp_is_sandwiched_between_matching_and_exact_cover() {
+        for seed in 0..10 {
+            let g = gnp(13, 0.3, &mut rng(100 + seed));
+            let sol = lp_vertex_cover(&g);
+            let lp = sol.objective();
+            let mm = maximum_matching(&g).len() as f64;
+            let opt = exact_cover_branch_and_bound(&g).len() as f64;
+            assert!(lp >= mm - 1e-9, "LP ({lp}) must dominate the matching bound ({mm})");
+            assert!(lp <= opt + 1e-9, "LP ({lp}) cannot exceed the integral optimum ({opt})");
+            let rounded = sol.rounded_cover();
+            assert!(rounded.len() as f64 <= 2.0 * opt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn structured_graphs_have_known_lp_values() {
+        // Path on 2 vertices (one edge): LP = 1 (take one endpoint or halves).
+        assert!((lp_vertex_cover(&path(2)).objective() - 1.0).abs() < 1e-9);
+        // Star: LP = 1 (centre at value 1).
+        assert!((lp_vertex_cover(&star(6)).objective() - 1.0).abs() < 1e-9);
+        // Odd cycle C5: LP = 2.5 (all halves), integral optimum 3.
+        assert!((lp_vertex_cover(&cycle(5)).objective() - 2.5).abs() < 1e-9);
+        // Complete graph K4: LP = 2 (all halves), integral optimum 3.
+        assert!((lp_vertex_cover(&complete(4)).objective() - 2.0).abs() < 1e-9);
+        // Even cycle C6: LP = 3 = integral optimum.
+        assert!((lp_vertex_cover(&cycle(6)).objective() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_lp() {
+        let sol = lp_vertex_cover(&Graph::empty(5));
+        assert_eq!(sol.objective(), 0.0);
+        assert!(sol.rounded_cover().is_empty());
+    }
+}

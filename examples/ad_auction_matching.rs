@@ -1,0 +1,56 @@
+//! Domain scenario: advertiser–impression matching sharded across machines.
+//!
+//! A large ad exchange holds a bipartite compatibility graph between
+//! advertisers and ad impressions. The edge log is huge and arrives sharded
+//! across many ingestion servers (effectively a random partition — each edge
+//! lands on an arbitrary server). We want a near-maximum matching with one
+//! round of communication: every server sends a coreset, the planner composes
+//! them.
+//!
+//! Run with `cargo run --release --example ad_auction_matching`.
+
+use distsim::protocols::matching::{report_default_matching_protocol, report_subsampled_protocol};
+use graph::gen::bipartite::planted_matching_bipartite;
+use matching::maximum::maximum_matching;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // Advertisers and impressions; a planted perfect matching guarantees that
+    // a full assignment exists, plus random compatibility noise.
+    let advertisers = 10_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let (bg, _) = planted_matching_bipartite(advertisers, 0.0004, &mut rng);
+    let g = bg.to_graph();
+    let opt = maximum_matching(&g).len();
+    println!("ad exchange graph: {} advertisers, {} impressions, {} compatible pairs", advertisers, advertisers, g.m());
+    println!("maximum assignment size (centralised): {opt}\n");
+
+    let k = 32; // ingestion servers
+    println!("{:<28} {:>10} {:>12} {:>14}", "protocol", "matched", "ratio", "words sent");
+    for (label, report) in [
+        (
+            "exact coreset (Thm 1)",
+            report_default_matching_protocol(&g, k, opt, 1).expect("k >= 1"),
+        ),
+        (
+            "subsampled alpha=2 (Rmk 5.2)",
+            report_subsampled_protocol(&g, k, 2.0, opt, 1).expect("k >= 1"),
+        ),
+        (
+            "subsampled alpha=4 (Rmk 5.2)",
+            report_subsampled_protocol(&g, k, 4.0, opt, 1).expect("k >= 1"),
+        ),
+    ] {
+        println!(
+            "{:<28} {:>10} {:>12.3} {:>14}",
+            label,
+            report.matching_size,
+            report.approximation_ratio,
+            report.communication.total_words()
+        );
+    }
+    println!("\nThe exact coreset keeps the assignment within a small constant of optimal");
+    println!("with one message per server; the subsampled variants cut the bytes on the");
+    println!("wire by ~alpha^2 at a proportional loss in matched impressions.");
+}

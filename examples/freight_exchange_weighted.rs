@@ -1,0 +1,68 @@
+//! Domain scenario: weighted carrier–load matching on a freight exchange.
+//!
+//! A freight exchange matches trucks (carriers) to loads; every compatible
+//! pair has a value (the margin of the assignment). The pairing log is
+//! sharded across regional brokers. We want a high-value matching with one
+//! round of communication, using the paper's weighted extension: the
+//! Crouch–Stubbs weight classes on top of the unweighted matching coreset.
+//!
+//! Run with `cargo run --release --example freight_exchange_weighted`.
+
+use coresets::weighted::{compose_weighted_matching, WeightedCoresetOutput, WeightedMatchingCoreset};
+use graph::partition::{partition_weighted, PartitionStrategy};
+use graph::WeightedGraph;
+use matching::weighted::greedy_weighted_matching;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // Carriers 0..n/2, loads n/2..n; margins span three orders of magnitude.
+    let n = 12_000usize;
+    let pairs = 90_000usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut triples = Vec::with_capacity(pairs);
+    while triples.len() < pairs {
+        let carrier = rng.gen_range(0..n as u32 / 2);
+        let load = rng.gen_range(n as u32 / 2..n as u32);
+        let margin = 10.0_f64.powf(rng.gen_range(0.0..3.0)); // $1 .. $1000
+        triples.push((carrier, load, margin));
+    }
+    let market = WeightedGraph::from_triples(n, triples).expect("valid pairing triples");
+    println!(
+        "freight exchange: {} carriers, {} loads, {} compatible pairs, total margin {:.0}",
+        n / 2,
+        n / 2,
+        market.m(),
+        market.total_weight()
+    );
+
+    // Centralised baseline: greedy weighted matching over the whole market
+    // (a 1/2-approximation of the optimum).
+    let baseline = greedy_weighted_matching(&market);
+    println!("\ncentralised greedy baseline: {} assignments, value {:.0}", baseline.len(), baseline.total_weight);
+
+    // Distributed: each regional broker builds a Crouch–Stubbs coreset.
+    println!("\n{:>4}  {:>12}  {:>12}  {:>16}  {:>14}", "k", "assignments", "value", "value / baseline", "edges shipped");
+    for k in [4usize, 8, 16, 32] {
+        let mut part_rng = ChaCha8Rng::seed_from_u64(1000 + k as u64);
+        let pieces = partition_weighted(&market, k, PartitionStrategy::Random, &mut part_rng)
+            .expect("k >= 1");
+        let builder = WeightedMatchingCoreset::default();
+        let coresets: Vec<WeightedCoresetOutput> = pieces.iter().map(|p| builder.build(p)).collect();
+        let shipped: usize = coresets.iter().map(WeightedCoresetOutput::size).sum();
+        let composed = compose_weighted_matching(n, &coresets);
+        assert!(composed.is_valid_for(&market));
+        println!(
+            "{:>4}  {:>12}  {:>12.0}  {:>16.3}  {:>14}",
+            k,
+            composed.len(),
+            composed.total_weight,
+            composed.total_weight / baseline.total_weight,
+            shipped
+        );
+    }
+    println!("\nShipping only the per-class matchings (≈ n log(max margin) edges per broker)");
+    println!("retains most of the centrally computable value, as the paper's weighted");
+    println!("extension predicts (at most a further factor-2 loss over the unweighted case).");
+}

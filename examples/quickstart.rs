@@ -1,0 +1,47 @@
+//! Quickstart: build randomized composable coresets for matching and vertex
+//! cover on a random graph, compose them, and compare against the optimum.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use coresets::{DistributedMatching, DistributedVertexCover};
+use graph::gen::er::gnp;
+use matching::maximum::maximum_matching;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. A random input graph: 20,000 vertices, average degree ~8.
+    let n = 20_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let g = gnp(n, 8.0 / n as f64, &mut rng);
+    println!("input graph: n = {}, m = {}", g.n(), g.m());
+
+    // 2. The model: the edges are randomly partitioned across k machines, each
+    //    machine sends a small coreset, the coordinator solves on the union.
+    let k = 16;
+
+    // 3. Maximum matching (Theorem 1): each machine's coreset is any maximum
+    //    matching of its piece, at most n/2 edges.
+    let result = DistributedMatching::new(k).run(&g, 7).expect("k >= 1");
+    let opt = maximum_matching(&g).len();
+    println!("\n-- maximum matching --");
+    println!("optimum (whole graph):        {opt}");
+    println!("coreset composition:          {}", result.matching.len());
+    println!("approximation ratio:          {:.3}", opt as f64 / result.matching.len() as f64);
+    println!(
+        "communication (edges total):  {} (~{:.2} per vertex per machine)",
+        result.total_coreset_size(),
+        result.total_coreset_size() as f64 / (n * k) as f64
+    );
+
+    // 4. Minimum vertex cover (Theorem 2): each machine peels its high-degree
+    //    vertices and forwards the sparse residual subgraph.
+    let result = DistributedVertexCover::new(k).run(&g, 7).expect("k >= 1");
+    assert!(result.cover.covers(&g));
+    println!("\n-- minimum vertex cover --");
+    println!("matching lower bound on OPT:  {opt}");
+    println!("coreset composition:          {}", result.cover.len());
+    println!("ratio vs lower bound:         {:.3}", result.cover.len() as f64 / opt as f64);
+    println!("total coreset size:           {}", result.total_coreset_size());
+    println!("\n(the paper proves O(1) and O(log n) approximation respectively, w.h.p.)");
+}

@@ -1,0 +1,28 @@
+//! # randomized-coresets
+//!
+//! Umbrella crate for the reproduction of *Randomized Composable Coresets for
+//! Matching and Vertex Cover* (Assadi & Khanna, SPAA 2017).
+//!
+//! The implementation lives in five focused crates which this facade
+//! re-exports:
+//!
+//! * [`graph`] — graph types, generators (including the paper's hard
+//!   distributions), and random k-partitioning.
+//! * [`matching`] — maximal / maximum (Hopcroft–Karp, Blossom) / weighted
+//!   matching algorithms.
+//! * [`vertexcover`] — vertex-cover algorithms (2-approximation, greedy,
+//!   peeling, exact).
+//! * [`coresets`] — the paper's contribution: randomized composable coresets
+//!   for matching and vertex cover, together with the communication-efficient
+//!   protocol variants (Remarks 5.2 and 5.8) and weighted extensions.
+//! * [`distsim`] — the coordinator-model and MapReduce simulators with
+//!   communication/round/memory accounting, plus the filtering baseline.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `EXPERIMENTS.md`
+//! for the full experiment suite.
+
+pub use coresets;
+pub use distsim;
+pub use graph;
+pub use matching;
+pub use vertexcover;

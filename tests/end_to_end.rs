@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full pipelines of the paper, end to end.
+
+use coresets::{DistributedMatching, DistributedVertexCover};
+use coresets::matching_coreset::MaximumMatchingCoreset;
+use coresets::vc_coreset::PeelingVcCoreset;
+use distsim::coordinator::CoordinatorProtocol;
+use distsim::mapreduce::{MapReduceConfig, MapReduceSimulator};
+use distsim::protocols::filtering::filtering_matching;
+use graph::gen::bipartite::planted_matching_bipartite;
+use graph::gen::er::{gnm, gnp};
+use graph::gen::powerlaw::chung_lu;
+use graph::Graph;
+use matching::maximum::{maximum_matching, maximum_matching_with, MaximumMatchingAlgorithm};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Theorem 1 bound (ratio <= 9) holds across workloads and machine counts.
+#[test]
+fn theorem1_bound_holds_across_workloads_and_k() {
+    let mut r = rng(1);
+    let workloads: Vec<Graph> = vec![
+        gnp(1500, 0.004, &mut r),
+        chung_lu(1500, 2.4, 5.0, &mut r),
+        planted_matching_bipartite(800, 0.002, &mut r).0.to_graph(),
+    ];
+    for (w, g) in workloads.into_iter().enumerate() {
+        let opt = maximum_matching(&g).len();
+        for k in [2usize, 5, 9] {
+            let result = DistributedMatching::new(k).run(&g, 100 + w as u64).unwrap();
+            assert!(result.matching.is_valid_for(&g));
+            assert!(
+                9 * result.matching.len() >= opt,
+                "workload {w}, k {k}: {} vs opt {opt}",
+                result.matching.len()
+            );
+        }
+    }
+}
+
+/// Theorem 2: the composed cover is feasible and within O(log n) of the
+/// matching lower bound, across workloads and machine counts.
+#[test]
+fn theorem2_cover_is_feasible_and_reasonably_small() {
+    let mut r = rng(2);
+    let workloads: Vec<Graph> = vec![gnp(2000, 0.003, &mut r), chung_lu(2000, 2.5, 6.0, &mut r)];
+    for (w, g) in workloads.into_iter().enumerate() {
+        let lb = maximum_matching(&g).len().max(1);
+        let log_n = (g.n() as f64).log2();
+        for k in [3usize, 8] {
+            let result = DistributedVertexCover::new(k).run(&g, 200 + w as u64).unwrap();
+            assert!(result.cover.covers(&g));
+            // |min VC| <= 2 * |max matching|, so cover / lb <= 2 * true ratio;
+            // allow the full O(log n) slack with a constant of 4.
+            assert!(
+                (result.cover.len() as f64) <= 4.0 * log_n * lb as f64,
+                "workload {w}, k {k}: cover {} vs bound {}",
+                result.cover.len(),
+                4.0 * log_n * lb as f64
+            );
+        }
+    }
+}
+
+/// The coreset quality does not depend on which maximum-matching algorithm the
+/// machines run (Theorem 1 is algorithm-agnostic).
+#[test]
+fn coreset_quality_is_algorithm_agnostic() {
+    let mut r = rng(3);
+    let g = planted_matching_bipartite(600, 0.002, &mut r).0.to_graph();
+    let opt = maximum_matching(&g).len();
+    let k = 6;
+    for algorithm in [MaximumMatchingAlgorithm::HopcroftKarp, MaximumMatchingAlgorithm::Blossom] {
+        let builder = MaximumMatchingCoreset::with_algorithm(algorithm);
+        let result = DistributedMatching::with_builder(k, builder).run(&g, 77).unwrap();
+        assert!(result.matching.is_valid_for(&g));
+        assert!(9 * result.matching.len() >= opt, "{algorithm:?}");
+    }
+}
+
+/// Coordinator-model protocol and the MapReduce simulation agree on quality,
+/// and the MapReduce run respects its structural claims (2 rounds, memory).
+#[test]
+fn coordinator_and_mapreduce_agree() {
+    let n = 1200;
+    let g = gnm(n, 25_000, &mut rng(4));
+    let opt = maximum_matching(&g).len();
+
+    let coord = CoordinatorProtocol::random(8)
+        .run_matching(&g, &MaximumMatchingCoreset::new(), 9)
+        .unwrap();
+    let mr = MapReduceSimulator::new(MapReduceConfig::paper_defaults(n))
+        .run_matching(&g, &MaximumMatchingCoreset::new(), 9)
+        .unwrap();
+
+    assert!(coord.answer.is_valid_for(&g));
+    assert!(mr.answer.is_valid_for(&g));
+    assert_eq!(mr.round_count(), 2);
+    assert!(mr.within_memory_budget);
+    assert!(9 * coord.answer.len() >= opt);
+    assert!(9 * mr.answer.len() >= opt);
+}
+
+/// The vertex-cover MapReduce pipeline is feasible and stays within budget.
+#[test]
+fn mapreduce_vertex_cover_pipeline() {
+    let n = 1500;
+    let g = gnm(n, 30_000, &mut rng(5));
+    let out = MapReduceSimulator::new(MapReduceConfig::paper_defaults(n))
+        .run_vertex_cover(&g, &PeelingVcCoreset::new(), 13)
+        .unwrap();
+    assert!(out.answer.covers(&g));
+    assert_eq!(out.round_count(), 2);
+    assert!(out.within_memory_budget);
+}
+
+/// The filtering baseline produces a maximal matching whose induced cover is
+/// feasible; it needs more rounds than the coreset algorithm once the input
+/// exceeds one machine's memory.
+#[test]
+fn filtering_baseline_is_correct_but_needs_more_rounds() {
+    let g = gnm(800, 40_000, &mut rng(6));
+    let memory = 5_000;
+    let out = filtering_matching(&g, memory, 3);
+    assert!(out.matching.is_valid_for(&g));
+    assert!(out.matching.is_maximal_in(&g));
+    assert!(out.rounds >= 3);
+    assert!(out.vertex_cover().covers(&g));
+
+    let opt = maximum_matching(&g).len();
+    assert!(2 * out.matching.len() >= opt);
+}
+
+/// Everything is deterministic given the seed — the property every experiment
+/// table relies on.
+#[test]
+fn runs_are_reproducible_across_the_stack() {
+    let g = gnp(700, 0.01, &mut rng(7));
+    let a = DistributedMatching::new(5).run(&g, 31).unwrap();
+    let b = DistributedMatching::new(5).run(&g, 31).unwrap();
+    assert_eq!(a.matching.edges(), b.matching.edges());
+    assert_eq!(a.coreset_sizes, b.coreset_sizes);
+
+    let c = DistributedVertexCover::new(5).run(&g, 31).unwrap();
+    let d = DistributedVertexCover::new(5).run(&g, 31).unwrap();
+    assert_eq!(c.cover.sorted_vertices(), d.cover.sorted_vertices());
+}
+
+/// Degenerate inputs flow through the whole stack without panicking.
+#[test]
+fn degenerate_inputs_are_handled() {
+    let empty = Graph::empty(50);
+    let m = DistributedMatching::new(4).run(&empty, 1).unwrap();
+    assert!(m.matching.is_empty());
+    let c = DistributedVertexCover::new(4).run(&empty, 1).unwrap();
+    assert!(c.cover.is_empty());
+
+    let single_edge = Graph::from_pairs(4, vec![(1, 2)]).unwrap();
+    let m = DistributedMatching::new(8).run(&single_edge, 2).unwrap();
+    assert_eq!(m.matching.len(), 1);
+    let c = DistributedVertexCover::new(8).run(&single_edge, 2).unwrap();
+    assert!(c.cover.covers(&single_edge));
+
+    // Solving with more machines than edges.
+    let tiny = gnp(30, 0.05, &mut rng(8));
+    let m = DistributedMatching::new(64).run(&tiny, 3).unwrap();
+    assert!(m.matching.is_valid_for(&tiny));
+
+    // A maximum matching on one machine (k = 1) equals the true optimum.
+    let g = gnp(400, 0.01, &mut rng(9));
+    let opt = maximum_matching_with(&g, MaximumMatchingAlgorithm::Auto).len();
+    let one = DistributedMatching::new(1).run(&g, 4).unwrap();
+    assert_eq!(one.matching.len(), opt);
+}

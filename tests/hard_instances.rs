@@ -1,0 +1,157 @@
+//! Integration tests for the paper's hard distributions and the lower-bound
+//! experiment machinery (Theorems 3 and 4, Section 1.2 separations).
+
+use coresets::capped::{cap_matching_coreset, cap_vc_coreset};
+use coresets::compose::compose_vertex_cover;
+use coresets::matching_coreset::{
+    AvoidingMaximalMatchingCoreset, MatchingCoresetBuilder, MaximumMatchingCoreset,
+};
+use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
+use coresets::{CoresetParams, DistributedMatching};
+use graph::gen::hard::{d_matching, d_vc, maximal_matching_trap};
+use graph::partition::EdgePartition;
+use graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// On D_Matching the uncapped coreset composition recovers a large matching,
+/// while the capped coreset (below the Theorem 3 threshold) recovers much less.
+#[test]
+fn capped_coresets_degrade_on_d_matching() {
+    let n = 3000;
+    let alpha = 6.0;
+    let k = 6;
+    let mut r = rng(1);
+    let inst = d_matching(n, alpha, k, &mut r).unwrap();
+    let g = inst.graph.to_graph();
+    let opt_lb = inst.matching_lower_bound();
+
+    #[derive(Clone, Copy)]
+    struct Capped {
+        cap: usize,
+    }
+    impl MatchingCoresetBuilder for Capped {
+        fn build(&self, piece: &Graph, params: &CoresetParams, machine: usize) -> Graph {
+            let full = MaximumMatchingCoreset::new().build(piece, params, machine);
+            let mut rng = ChaCha8Rng::seed_from_u64(machine as u64);
+            cap_matching_coreset(&full, self.cap, &mut rng)
+        }
+        fn name(&self) -> &'static str {
+            "capped"
+        }
+    }
+
+    let uncapped = DistributedMatching::new(k).run(&g, 5).unwrap();
+    let tiny_cap = ((n as f64 / (alpha * alpha)) as usize / 8).max(1);
+    let capped = DistributedMatching::with_builder(k, Capped { cap: tiny_cap }).run(&g, 5).unwrap();
+
+    assert!(uncapped.matching.is_valid_for(&g));
+    assert!(capped.matching.is_valid_for(&g));
+    assert!(
+        uncapped.matching.len() as f64 >= 1.5 * capped.matching.len() as f64,
+        "uncapped {} should clearly beat capped {}",
+        uncapped.matching.len(),
+        capped.matching.len()
+    );
+    // The uncapped composition is a constant-factor approximation of the
+    // planted matching, as Theorem 1 promises.
+    assert!(9 * uncapped.matching.len() >= opt_lb);
+}
+
+/// On D_VC, capping the coreset far below n/alpha usually drops the hidden
+/// edge e*, making the composed cover infeasible; the uncapped coreset always
+/// covers it.
+#[test]
+fn capped_coresets_miss_the_hidden_edge_on_d_vc() {
+    let n = 2000;
+    let alpha = 8.0;
+    let k = 6;
+    let trials = 8;
+    let mut covered_uncapped = 0;
+    let mut covered_capped = 0;
+
+    for t in 0..trials {
+        let mut r = rng(100 + t);
+        let inst = d_vc(n, alpha, k, &mut r).unwrap();
+        let g = inst.graph.to_graph();
+        let params = CoresetParams::new(g.n(), k);
+        let partition = EdgePartition::random(&g, k, &mut r).unwrap();
+
+        let full_outputs: Vec<VcCoresetOutput> = partition
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i))
+            .collect();
+        let tiny_cap = ((n as f64 / alpha) as usize / 20).max(1);
+        let capped_outputs: Vec<VcCoresetOutput> = full_outputs
+            .iter()
+            .map(|o| cap_vc_coreset(o, tiny_cap, &mut r))
+            .collect();
+
+        let full_cover = compose_vertex_cover(&full_outputs);
+        let capped_cover = compose_vertex_cover(&capped_outputs);
+
+        let (l, rstar) = inst.e_star;
+        let r_flat = inst.graph.left_n() as u32 + rstar;
+        if full_cover.contains(l) || full_cover.contains(r_flat) {
+            covered_uncapped += 1;
+        }
+        if capped_cover.contains(l) || capped_cover.contains(r_flat) {
+            covered_capped += 1;
+        }
+        // The uncapped composition must be a feasible cover of the whole graph.
+        assert!(full_cover.covers(&g), "trial {t}");
+    }
+    assert_eq!(covered_uncapped, trials, "the uncapped coreset never misses e*");
+    assert!(
+        covered_capped < trials,
+        "a coreset capped 20x below n/alpha should miss e* at least once in {trials} trials"
+    );
+}
+
+/// The Section 1.2 trap: adversarially chosen maximal matchings compose to a
+/// matching that degrades as k grows, while maximum matchings do not.
+#[test]
+fn trap_instance_separates_maximal_from_maximum() {
+    let n = 1200;
+    let mut previous_bad_ratio = 0.0;
+    for k in [4usize, 16] {
+        let inst = maximal_matching_trap(n, 1.0 / k as f64).unwrap();
+        let avoid = AvoidingMaximalMatchingCoreset::new(inst.planted_matching.iter().copied());
+        let good = DistributedMatching::new(k).run(&inst.graph, 9).unwrap();
+        let bad = DistributedMatching::with_builder(k, avoid).run(&inst.graph, 9).unwrap();
+        let opt = inst.matching_lower_bound() as f64;
+        let good_ratio = opt / good.matching.len().max(1) as f64;
+        let bad_ratio = opt / bad.matching.len().max(1) as f64;
+        assert!(good_ratio <= 1.5, "k={k}: maximum-coreset ratio {good_ratio}");
+        assert!(bad_ratio >= 2.0, "k={k}: adversarial ratio should be large, got {bad_ratio}");
+        assert!(
+            bad_ratio > previous_bad_ratio,
+            "adversarial ratio should grow with k ({bad_ratio} after {previous_bad_ratio})"
+        );
+        previous_bad_ratio = bad_ratio;
+    }
+}
+
+/// Structural sanity of the hard distributions at scale (beyond the unit
+/// tests): sizes and certified optima match the construction.
+#[test]
+fn hard_distributions_have_the_documented_structure() {
+    let mut r = rng(3);
+    let inst = d_matching(4000, 10.0, 8, &mut r).unwrap();
+    assert_eq!(inst.a.len(), 400);
+    assert_eq!(inst.planted_matching.len(), 3600);
+    assert!(inst.graph.m() >= 3600 + inst.dense_edges);
+
+    let inst = d_vc(4000, 10.0, 8, &mut r).unwrap();
+    assert_eq!(inst.a.len(), 400);
+    assert_eq!(inst.vc_upper_bound(), 401);
+    // e* exists and is the only edge on v*.
+    let v_star_edges = inst.graph.edges().iter().filter(|(l, _)| *l == inst.v_star).count();
+    assert_eq!(v_star_edges, 1);
+}
