@@ -58,12 +58,22 @@ fn bench_partition(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(5);
-                black_box(EdgePartition::random(&g, k, &mut rng).unwrap().total_edges())
+                black_box(
+                    EdgePartition::random(&g, k, &mut rng)
+                        .unwrap()
+                        .total_edges(),
+                )
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_gnp, bench_bipartite, bench_d_matching, bench_partition);
+criterion_group!(
+    benches,
+    bench_gnp,
+    bench_bipartite,
+    bench_d_matching,
+    bench_partition
+);
 criterion_main!(benches);

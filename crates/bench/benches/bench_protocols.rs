@@ -21,7 +21,15 @@ fn bench_matching_protocol(c: &mut Criterion) {
     let g = workload(20_000);
     for k in [4usize, 16, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(DistributedMatching::new(k).run(&g, 3).unwrap().matching.len()));
+            b.iter(|| {
+                black_box(
+                    DistributedMatching::new(k)
+                        .run(&g, 3)
+                        .unwrap()
+                        .matching
+                        .len(),
+                )
+            });
         });
     }
     group.finish();
@@ -33,11 +41,23 @@ fn bench_vertex_cover_protocol(c: &mut Criterion) {
     let g = workload(20_000);
     for k in [4usize, 16, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| black_box(DistributedVertexCover::new(k).run(&g, 3).unwrap().cover.len()));
+            b.iter(|| {
+                black_box(
+                    DistributedVertexCover::new(k)
+                        .run(&g, 3)
+                        .unwrap()
+                        .cover
+                        .len(),
+                )
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matching_protocol, bench_vertex_cover_protocol);
+criterion_group!(
+    benches,
+    bench_matching_protocol,
+    bench_vertex_cover_protocol
+);
 criterion_main!(benches);

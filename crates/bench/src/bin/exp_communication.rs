@@ -8,7 +8,9 @@
 use bench::table::fmt_f;
 use bench::{trial_seed, Table};
 use distsim::protocols::matching::{report_default_matching_protocol, report_subsampled_protocol};
-use distsim::protocols::vertex_cover::{report_default_vertex_cover_protocol, report_grouped_protocol};
+use distsim::protocols::vertex_cover::{
+    report_default_vertex_cover_protocol, report_grouped_protocol,
+};
 use graph::gen::bipartite::planted_matching_bipartite;
 use matching::maximum::maximum_matching;
 use rand::SeedableRng;
@@ -34,7 +36,15 @@ fn main() {
     // Part 1: scaling with k for the exact-coreset protocols.
     let mut table_k = Table::new(
         format!("E7a: total communication vs k (n = {n}, m = {})", g.m()),
-        &["k", "matching words", "matching words / nk", "matching ratio", "vc words", "vc words / nk", "vc ratio"],
+        &[
+            "k",
+            "matching words",
+            "matching words / nk",
+            "matching ratio",
+            "vc words",
+            "vc words / nk",
+            "vc ratio",
+        ],
     );
     for k in [4usize, 8, 16, 32, 64] {
         let seed = trial_seed(EXP_ID, 10 + k as u64);
@@ -98,9 +108,13 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(trial_seed(EXP_ID, 9999));
     let dense = graph::gen::er::gnp(n_dense, 0.025, &mut rng);
     let dense_cover_ref = two_approx_cover(&dense).len().max(1);
-    let dense_base =
-        report_default_vertex_cover_protocol(&dense, k_dense, dense_cover_ref, trial_seed(EXP_ID, 500))
-            .expect("k >= 1");
+    let dense_base = report_default_vertex_cover_protocol(
+        &dense,
+        k_dense,
+        dense_cover_ref,
+        trial_seed(EXP_ID, 500),
+    )
+    .expect("k >= 1");
 
     let mut table_dense = Table::new(
         format!(
@@ -124,8 +138,10 @@ fn main() {
             fmt_f(alpha),
             group_size.to_string(),
             grouped.communication.total_words().to_string(),
-            fmt_f(grouped.communication.total_words() as f64
-                / dense_base.communication.total_words() as f64),
+            fmt_f(
+                grouped.communication.total_words() as f64
+                    / dense_base.communication.total_words() as f64,
+            ),
             fmt_f(grouped.approximation_ratio),
             grouped.feasible.to_string(),
         ]);

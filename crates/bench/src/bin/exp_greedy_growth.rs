@@ -43,8 +43,17 @@ fn main() {
     assert!(final_matching.is_valid_for(&g));
 
     let mut table = Table::new(
-        format!("E10: GreedyMatch trace (n = {}, k = {k}, MM(G) = {opt})", g.n()),
-        &["step i", "|M^(i)|", "|M^(i)| / MM(G)", "edges added", "added / (MM(G)/k)"],
+        format!(
+            "E10: GreedyMatch trace (n = {}, k = {k}, MM(G) = {opt})",
+            g.n()
+        ),
+        &[
+            "step i",
+            "|M^(i)|",
+            "|M^(i)| / MM(G)",
+            "edges added",
+            "added / (MM(G)/k)",
+        ],
     );
     for (i, (&size, &added)) in trace.sizes.iter().zip(&trace.added).enumerate() {
         table.add_row(vec![

@@ -50,7 +50,9 @@ fn main() {
         let sim = MapReduceSimulator::new(cfg);
         let seed = trial_seed(EXP_ID, 100 + n as u64);
 
-        let mat = sim.run_matching(&g, &MaximumMatchingCoreset::new(), seed).expect("k >= 1");
+        let mat = sim
+            .run_matching(&g, &MaximumMatchingCoreset::new(), seed)
+            .expect("k >= 1");
         assert!(mat.answer.is_valid_for(&g));
 
         let mut pre_random_cfg = cfg;
@@ -59,7 +61,9 @@ fn main() {
             .run_matching(&g, &MaximumMatchingCoreset::new(), seed)
             .expect("k >= 1");
 
-        let vc = sim.run_vertex_cover(&g, &PeelingVcCoreset::new(), seed).expect("k >= 1");
+        let vc = sim
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), seed)
+            .expect("k >= 1");
         assert!(vc.answer.covers(&g));
 
         // Filtering at the same per-machine memory (measured in edges).

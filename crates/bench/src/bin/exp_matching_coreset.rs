@@ -32,7 +32,11 @@ fn workloads(seed: u64) -> Vec<(String, Graph, usize)> {
 
     let (planted, matching) = planted_matching_bipartite(3000, 0.001, &mut rng);
     let planted_n = matching.len();
-    out.push(("planted-matching(n=3000+3000)".to_string(), planted.to_graph(), planted_n));
+    out.push((
+        "planted-matching(n=3000+3000)".to_string(),
+        planted.to_graph(),
+        planted_n,
+    ));
 
     let pl = chung_lu(4000, 2.5, 6.0, &mut rng);
     let pl_opt = maximum_matching(&pl).len();
@@ -49,7 +53,15 @@ fn main() {
 
     let mut table = Table::new(
         "E1: approximation ratio of the maximum-matching coreset",
-        &["workload", "k", "opt", "coreset matching (mean)", "ratio (mean)", "ratio (max)", "coreset edges/machine"],
+        &[
+            "workload",
+            "k",
+            "opt",
+            "coreset matching (mean)",
+            "ratio (mean)",
+            "ratio (max)",
+            "coreset edges/machine",
+        ],
     );
 
     for k in [2usize, 4, 8, 16, 32] {
@@ -64,8 +76,7 @@ fn main() {
                 assert!(result.matching.is_valid_for(&g));
                 ratios.push(opt as f64 / result.matching.len().max(1) as f64);
                 sizes.push(result.matching.len() as f64);
-                coreset_edges
-                    .push(result.coreset_sizes.iter().sum::<usize>() as f64 / k as f64);
+                coreset_edges.push(result.coreset_sizes.iter().sum::<usize>() as f64 / k as f64);
             }
             let ratio = Summary::of(&ratios);
             let size = Summary::of(&sizes);

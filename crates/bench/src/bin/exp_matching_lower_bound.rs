@@ -48,14 +48,27 @@ fn main() {
 
     let mut table = Table::new(
         format!("E5: D_Matching(n={n}, alpha, k={k}), capped maximum-matching coresets"),
-        &["alpha", "cap (edges/machine)", "cap / (n/alpha^2)", "matching size", "achieved ratio", "uncapped ratio"],
+        &[
+            "alpha",
+            "cap (edges/machine)",
+            "cap / (n/alpha^2)",
+            "matching size",
+            "achieved ratio",
+            "uncapped ratio",
+        ],
     );
 
     for alpha in [4.0f64, 8.0] {
         let threshold = (n as f64 / (alpha * alpha)).round() as usize;
         // Sweep the cap across the threshold: well below, at, and above it.
-        let caps =
-            [threshold / 8, threshold / 4, threshold / 2, threshold, 2 * threshold, 4 * threshold];
+        let caps = [
+            threshold / 8,
+            threshold / 4,
+            threshold / 2,
+            threshold,
+            2 * threshold,
+            4 * threshold,
+        ];
 
         // Reference: the uncapped coreset's ratio on the same instances.
         for (cap_idx, &cap) in caps.iter().enumerate() {
@@ -69,9 +82,10 @@ fn main() {
                 let g = inst.graph.to_graph();
                 let opt_lb = inst.matching_lower_bound(); // ~ n - n/alpha
 
-                let capped = DistributedMatching::with_builder(k, CappedCoreset { cap: cap.max(1) })
-                    .run(&g, seed)
-                    .expect("k >= 1");
+                let capped =
+                    DistributedMatching::with_builder(k, CappedCoreset { cap: cap.max(1) })
+                        .run(&g, seed)
+                        .expect("k >= 1");
                 let uncapped = DistributedMatching::new(k).run(&g, seed).expect("k >= 1");
                 ratios.push(opt_lb as f64 / capped.matching.len().max(1) as f64);
                 sizes.push(capped.matching.len() as f64);

@@ -21,7 +21,12 @@ fn main() {
     let n = 2000usize;
     let mut table = Table::new(
         "E2: approximation ratio vs k on the trap instance (planted matching size = n)",
-        &["k", "maximum-coreset ratio", "adversarial-maximal ratio", "ratio blow-up (adversarial / maximum)"],
+        &[
+            "k",
+            "maximum-coreset ratio",
+            "adversarial-maximal ratio",
+            "ratio blow-up (adversarial / maximum)",
+        ],
     );
 
     for k in [2usize, 4, 8, 16, 32] {
@@ -33,7 +38,9 @@ fn main() {
         let mut bad_ratios = Vec::new();
         for t in 0..TRIALS {
             let seed = trial_seed(EXP_ID, k as u64 * 10 + t);
-            let good = DistributedMatching::new(k).run(&inst.graph, seed).expect("k >= 1");
+            let good = DistributedMatching::new(k)
+                .run(&inst.graph, seed)
+                .expect("k >= 1");
             let bad = DistributedMatching::with_builder(k, avoid.clone())
                 .run(&inst.graph, seed)
                 .expect("k >= 1");

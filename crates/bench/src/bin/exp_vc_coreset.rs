@@ -25,13 +25,19 @@ const TRIALS: u64 = 3;
 fn workloads(seed: u64) -> Vec<(String, Graph)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     vec![
-        ("erdos-renyi(n=6000, p=0.001)".to_string(), gnp(6000, 0.001, &mut rng)),
+        (
+            "erdos-renyi(n=6000, p=0.001)".to_string(),
+            gnp(6000, 0.001, &mut rng),
+        ),
         (
             "bipartite(n=4000+4000, p=0.001)".to_string(),
             random_bipartite(4000, 4000, 0.001, &mut rng).to_graph(),
         ),
         ("star-forest(200 x 40)".to_string(), star_forest(200, 40)),
-        ("chung-lu(n=6000, gamma=2.3)".to_string(), chung_lu(6000, 2.3, 6.0, &mut rng)),
+        (
+            "chung-lu(n=6000, gamma=2.3)".to_string(),
+            chung_lu(6000, 2.3, 6.0, &mut rng),
+        ),
     ]
 }
 
@@ -42,7 +48,16 @@ fn main() {
 
     let mut table = Table::new(
         "E3: composed peeling-coreset cover vs the matching lower bound on OPT",
-        &["workload", "k", "log2(n)", "cover size", "opt lower bound", "ratio (mean)", "coreset size/machine", "n log2(n)"],
+        &[
+            "workload",
+            "k",
+            "log2(n)",
+            "cover size",
+            "opt lower bound",
+            "ratio (mean)",
+            "coreset size/machine",
+            "n log2(n)",
+        ],
     );
 
     for k in [2usize, 4, 8, 16, 32] {
@@ -58,8 +73,7 @@ fn main() {
                 assert!(result.cover.covers(&g), "composed cover must be feasible");
                 ratios.push(result.cover.len() as f64 / opt_lb as f64);
                 covers.push(result.cover.len() as f64);
-                coreset_sizes
-                    .push(result.coreset_sizes.iter().sum::<usize>() as f64 / k as f64);
+                coreset_sizes.push(result.coreset_sizes.iter().sum::<usize>() as f64 / k as f64);
             }
             let log_n = (g.n() as f64).log2();
             let ratio = Summary::of(&ratios);

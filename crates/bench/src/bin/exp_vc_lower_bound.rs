@@ -32,7 +32,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("E6: D_VC(n={n}, alpha, k={k}), capped peeling coresets, {TRIALS} trials per row"),
-        &["alpha", "cap / (n/alpha)", "cap (items/machine)", "e* covered (fraction)", "mean cover size", "opt upper bound"],
+        &[
+            "alpha",
+            "cap / (n/alpha)",
+            "cap (items/machine)",
+            "e* covered (fraction)",
+            "mean cover size",
+            "opt upper bound",
+        ],
     );
 
     for alpha in [4.0f64, 8.0] {
@@ -43,7 +50,10 @@ fn main() {
             let mut cover_sizes = Vec::new();
             let mut opt_ub = 0usize;
             for t in 0..TRIALS {
-                let seed = trial_seed(EXP_ID, (alpha as u64) * 100_000 + (frac * 100.0) as u64 * 100 + t);
+                let seed = trial_seed(
+                    EXP_ID,
+                    (alpha as u64) * 100_000 + (frac * 100.0) as u64 * 100 + t,
+                );
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let inst = d_vc(n, alpha, k, &mut rng).expect("valid D_VC parameters");
                 let g = inst.graph.to_graph();

@@ -27,7 +27,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("E4: star forest with {STARS} stars x 4k leaves (OPT = {STARS})"),
-        &["k", "leaves/star", "peeling ratio", "local-cover ratio", "adversarial local-cover ratio"],
+        &[
+            "k",
+            "leaves/star",
+            "peeling ratio",
+            "local-cover ratio",
+            "adversarial local-cover ratio",
+        ],
     );
 
     for k in [2usize, 4, 8, 16, 32] {
@@ -40,7 +46,9 @@ fn main() {
         let mut adversarial = Vec::new();
         for t in 0..TRIALS {
             let seed = trial_seed(EXP_ID, k as u64 * 7 + t);
-            let a = DistributedVertexCover::new(k).run(&g, seed).expect("k >= 1");
+            let a = DistributedVertexCover::new(k)
+                .run(&g, seed)
+                .expect("k >= 1");
             let b = DistributedVertexCover::with_builder(k, LocalCoverCoreset::new())
                 .run(&g, seed)
                 .expect("k >= 1");

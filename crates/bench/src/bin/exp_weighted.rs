@@ -6,7 +6,9 @@
 
 use bench::table::fmt_f;
 use bench::{trial_seed, Summary, Table};
-use coresets::weighted::{compose_weighted_matching, WeightedCoresetOutput, WeightedMatchingCoreset};
+use coresets::weighted::{
+    compose_weighted_matching, WeightedCoresetOutput, WeightedMatchingCoreset,
+};
 use graph::partition::{partition_weighted, PartitionStrategy};
 use graph::WeightedGraph;
 use matching::weighted::greedy_weighted_matching;
@@ -58,17 +60,19 @@ fn main() {
             let g = random_weighted(n, m, max_weight, &mut rng);
             greedy_weight = greedy_weighted_matching(&g).total_weight;
 
-            let pieces = partition_weighted(&g, k, PartitionStrategy::Random, &mut rng)
-                .expect("k >= 1");
+            let pieces =
+                partition_weighted(&g, k, PartitionStrategy::Random, &mut rng).expect("k >= 1");
             let builder = WeightedMatchingCoreset::default();
             let outputs: Vec<WeightedCoresetOutput> =
                 pieces.iter().map(|p| builder.build(p)).collect();
             edge_counts.push(
-                outputs.iter().map(WeightedCoresetOutput::size).sum::<usize>() as f64 / k as f64,
+                outputs
+                    .iter()
+                    .map(WeightedCoresetOutput::size)
+                    .sum::<usize>() as f64
+                    / k as f64,
             );
-            class_counts.push(
-                outputs.iter().map(|o| o.classes.len()).max().unwrap_or(0) as f64,
-            );
+            class_counts.push(outputs.iter().map(|o| o.classes.len()).max().unwrap_or(0) as f64);
             let composed = compose_weighted_matching(n, &outputs);
             assert!(composed.is_valid_for(&g));
             weights.push(composed.total_weight);

@@ -20,14 +20,26 @@ impl Summary {
     /// empty slice.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Summary { mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0, count: 0 };
+            return Summary {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std_dev: 0.0,
+                count: 0,
+            };
         }
         let count = values.len();
         let mean = values.iter().sum::<f64>() / count as f64;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
-        Summary { mean, min, max, std_dev: variance.sqrt(), count }
+        Summary {
+            mean,
+            min,
+            max,
+            std_dev: variance.sqrt(),
+            count,
+        }
     }
 
     /// Summarises an iterator of usize observations.

@@ -79,10 +79,17 @@ mod tests {
     fn vc_cap_counts_vertices_and_edges() {
         let mut r = rng(2);
         let residual = gnp(100, 0.1, &mut r);
-        let out = VcCoresetOutput { fixed_vertices: (0..50).collect(), residual };
+        let out = VcCoresetOutput {
+            fixed_vertices: (0..50).collect(),
+            residual,
+        };
         let capped = cap_vc_coreset(&out, 60, &mut r);
         assert_eq!(capped.size(), 60);
-        assert_eq!(capped.fixed_vertices.len(), 50, "fixed vertices are kept first");
+        assert_eq!(
+            capped.fixed_vertices.len(),
+            50,
+            "fixed vertices are kept first"
+        );
         assert_eq!(capped.residual.m(), 10);
 
         let tight = cap_vc_coreset(&out, 20, &mut r);
@@ -96,7 +103,10 @@ mod tests {
         let mut r = rng(3);
         let g = gnp(50, 0.2, &mut r);
         assert_eq!(cap_matching_coreset(&g, 0, &mut r).m(), 0);
-        let out = VcCoresetOutput { fixed_vertices: vec![1, 2, 3], residual: g };
+        let out = VcCoresetOutput {
+            fixed_vertices: vec![1, 2, 3],
+            residual: g,
+        };
         assert_eq!(cap_vc_coreset(&out, 0, &mut r).size(), 0);
     }
 }

@@ -25,7 +25,10 @@ pub fn compose_matching(coresets: &[Graph]) -> Graph {
 
 /// Unions the coresets and extracts a maximum matching of the union — the
 /// coordinator's full computation for the matching problem.
-pub fn solve_composed_matching(coresets: &[Graph], algorithm: MaximumMatchingAlgorithm) -> Matching {
+pub fn solve_composed_matching(
+    coresets: &[Graph],
+    algorithm: MaximumMatchingAlgorithm,
+) -> Matching {
     let composed = compose_matching(coresets);
     maximum_matching_with(&composed, algorithm)
 }
@@ -101,7 +104,11 @@ mod tests {
         // Theorem 1: constant-factor approximation (ratio <= 9 proven, much
         // better in practice).
         let opt = maximum_matching(&g).len();
-        assert!(9 * m.len() >= opt, "composed matching {} vs optimum {opt}", m.len());
+        assert!(
+            9 * m.len() >= opt,
+            "composed matching {} vs optimum {opt}",
+            m.len()
+        );
     }
 
     #[test]

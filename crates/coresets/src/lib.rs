@@ -70,7 +70,9 @@ pub use matching_coreset::{
     MaximumMatchingCoreset, SubsampledMatchingCoreset,
 };
 pub use params::CoresetParams;
-pub use pipeline::{DistributedMatching, DistributedVertexCover, MatchingRunResult, VertexCoverRunResult};
+pub use pipeline::{
+    DistributedMatching, DistributedVertexCover, MatchingRunResult, VertexCoverRunResult,
+};
 pub use vc_coreset::{
     GroupedVcCoreset, LocalCoverCoreset, PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput,
 };

@@ -42,7 +42,9 @@ impl MaximumMatchingCoreset {
     /// Coreset using automatic algorithm selection (Hopcroft–Karp when
     /// bipartite, Blossom otherwise).
     pub fn new() -> Self {
-        Self { algorithm: MaximumMatchingAlgorithm::Auto }
+        Self {
+            algorithm: MaximumMatchingAlgorithm::Auto,
+        }
     }
 
     /// Coreset forcing a specific maximum-matching algorithm.
@@ -84,7 +86,9 @@ impl MaximalMatchingCoreset {
     /// Maximal matching with the adversarial order that prefers edges whose
     /// larger endpoint is as high as possible (the trap edges).
     pub fn adversarial() -> Self {
-        MaximalMatchingCoreset { adversarial_prefer_high_ids: true }
+        MaximalMatchingCoreset {
+            adversarial_prefer_high_ids: true,
+        }
     }
 }
 
@@ -129,7 +133,9 @@ pub struct AvoidingMaximalMatchingCoreset {
 impl AvoidingMaximalMatchingCoreset {
     /// Creates an adversarial builder avoiding the given edges.
     pub fn new<I: IntoIterator<Item = Edge>>(avoid: I) -> Self {
-        AvoidingMaximalMatchingCoreset { avoid: avoid.into_iter().collect() }
+        AvoidingMaximalMatchingCoreset {
+            avoid: avoid.into_iter().collect(),
+        }
     }
 }
 
@@ -214,7 +220,10 @@ impl SubsampledMatchingCoreset {
     /// Panics if `alpha < 1`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha >= 1.0, "alpha must be at least 1, got {alpha}");
-        SubsampledMatchingCoreset { alpha, algorithm: MaximumMatchingAlgorithm::Auto }
+        SubsampledMatchingCoreset {
+            alpha,
+            algorithm: MaximumMatchingAlgorithm::Auto,
+        }
     }
 }
 
@@ -224,12 +233,14 @@ impl MatchingCoresetBuilder for SubsampledMatchingCoreset {
         let m = maximum_matching_with(piece, self.algorithm);
         // Deterministic per-machine randomness: the subsampling must be
         // independent across machines but reproducible for a fixed seed.
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            0x5EED_0000u64 ^ (params.k as u64) << 32 ^ machine as u64,
-        );
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(0x5EED_0000u64 ^ (params.k as u64) << 32 ^ machine as u64);
         let keep_p = 1.0 / self.alpha;
-        let kept: Vec<Edge> =
-            m.into_edges().into_iter().filter(|_| rng.gen_bool(keep_p)).collect();
+        let kept: Vec<Edge> = m
+            .into_edges()
+            .into_iter()
+            .filter(|_| rng.gen_bool(keep_p))
+            .collect();
         Graph::from_edges(piece.n(), kept).expect("matching edges come from the piece")
     }
 
@@ -327,15 +338,27 @@ mod tests {
     fn builders_report_names() {
         assert_eq!(MaximumMatchingCoreset::new().name(), "maximum-matching");
         assert_eq!(MaximalMatchingCoreset::new().name(), "maximal-matching");
-        assert_eq!(MaximalMatchingCoreset::adversarial().name(), "maximal-matching-adversarial");
-        assert_eq!(SubsampledMatchingCoreset::new(2.0).name(), "subsampled-maximum-matching");
+        assert_eq!(
+            MaximalMatchingCoreset::adversarial().name(),
+            "maximal-matching-adversarial"
+        );
+        assert_eq!(
+            SubsampledMatchingCoreset::new(2.0).name(),
+            "subsampled-maximum-matching"
+        );
     }
 
     #[test]
     fn empty_piece_produces_empty_coreset() {
         let g = Graph::empty(10);
-        assert!(MaximumMatchingCoreset::new().build(&g, &params(10, 2), 0).is_empty());
-        assert!(MaximalMatchingCoreset::new().build(&g, &params(10, 2), 0).is_empty());
-        assert!(SubsampledMatchingCoreset::new(2.0).build(&g, &params(10, 2), 0).is_empty());
+        assert!(MaximumMatchingCoreset::new()
+            .build(&g, &params(10, 2), 0)
+            .is_empty());
+        assert!(MaximalMatchingCoreset::new()
+            .build(&g, &params(10, 2), 0)
+            .is_empty());
+        assert!(SubsampledMatchingCoreset::new(2.0)
+            .build(&g, &params(10, 2), 0)
+            .is_empty());
     }
 }

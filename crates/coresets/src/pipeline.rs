@@ -82,7 +82,11 @@ impl<B: MatchingCoresetBuilder> DistributedMatching<B> {
     /// Uses a custom coreset builder (e.g. the maximal-matching negative
     /// control or the subsampled Remark 5.2 coreset).
     pub fn with_builder(k: usize, builder: B) -> Self {
-        DistributedMatching { k, builder, coordinator_algorithm: MaximumMatchingAlgorithm::Auto }
+        DistributedMatching {
+            k,
+            builder,
+            coordinator_algorithm: MaximumMatchingAlgorithm::Auto,
+        }
     }
 
     /// Overrides the algorithm the coordinator runs on the composed graph.
@@ -111,7 +115,11 @@ impl<B: MatchingCoresetBuilder> DistributedMatching<B> {
         let coreset_sizes = coresets.iter().map(Graph::m).collect();
         let piece_sizes = pieces.iter().map(Graph::m).collect();
         let matching = solve_composed_matching(&coresets, self.coordinator_algorithm);
-        MatchingRunResult { matching, coreset_sizes, piece_sizes }
+        MatchingRunResult {
+            matching,
+            coreset_sizes,
+            piece_sizes,
+        }
     }
 }
 
@@ -126,7 +134,10 @@ pub struct DistributedVertexCover<B: VcCoresetBuilder = PeelingVcCoreset> {
 impl DistributedVertexCover<PeelingVcCoreset> {
     /// The paper's default configuration: peeling coresets on `k` machines.
     pub fn new(k: usize) -> Self {
-        DistributedVertexCover { k, builder: PeelingVcCoreset::new() }
+        DistributedVertexCover {
+            k,
+            builder: PeelingVcCoreset::new(),
+        }
     }
 }
 
@@ -155,7 +166,11 @@ impl<B: VcCoresetBuilder> DistributedVertexCover<B> {
         let coreset_sizes = outputs.iter().map(VcCoresetOutput::size).collect();
         let piece_sizes = pieces.iter().map(Graph::m).collect();
         let cover = compose_vertex_cover(&outputs);
-        VertexCoverRunResult { cover, coreset_sizes, piece_sizes }
+        VertexCoverRunResult {
+            cover,
+            coreset_sizes,
+            piece_sizes,
+        }
     }
 }
 
@@ -227,7 +242,9 @@ mod tests {
         let inst = maximal_matching_trap(n, 1.0 / k as f64).unwrap();
         let avoid = AvoidingMaximalMatchingCoreset::new(inst.planted_matching.iter().copied());
         let good = DistributedMatching::new(k).run(&inst.graph, 5).unwrap();
-        let bad = DistributedMatching::with_builder(k, avoid).run(&inst.graph, 5).unwrap();
+        let bad = DistributedMatching::with_builder(k, avoid)
+            .run(&inst.graph, 5)
+            .unwrap();
         assert!(good.matching.is_valid_for(&inst.graph));
         assert!(bad.matching.is_valid_for(&inst.graph));
         assert!(

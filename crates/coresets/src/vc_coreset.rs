@@ -94,7 +94,9 @@ impl LocalCoverCoreset {
     /// Local cover that adversarially prefers leaves over centres, realising
     /// the paper's star counterexample deterministically.
     pub fn adversarial() -> Self {
-        LocalCoverCoreset { adversarial_prefer_leaves: true }
+        LocalCoverCoreset {
+            adversarial_prefer_leaves: true,
+        }
     }
 }
 
@@ -116,7 +118,10 @@ impl VcCoresetBuilder for LocalCoverCoreset {
         } else {
             two_approx_cover(piece).sorted_vertices()
         };
-        VcCoresetOutput { fixed_vertices, residual: Graph::empty(piece.n()) }
+        VcCoresetOutput {
+            fixed_vertices,
+            residual: Graph::empty(piece.n()),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -298,7 +303,10 @@ mod tests {
                 cover.insert(v);
             }
         }
-        assert!(cover.covers(g), "composed coreset output must cover the input graph");
+        assert!(
+            cover.covers(g),
+            "composed coreset output must cover the input graph"
+        );
         cover
     }
 
@@ -417,7 +425,10 @@ mod tests {
         let grouped = GroupedVcCoreset::new(3);
         let (cover_vertices, grouped_sizes) = grouped.run_protocol(part.pieces(), &params);
         let cover = VertexCover::from_vertices(cover_vertices);
-        assert!(cover.covers(&g), "expanded grouped cover must cover the original graph");
+        assert!(
+            cover.covers(&g),
+            "expanded grouped cover must cover the original graph"
+        );
 
         // The ungrouped peeling coreset sizes, for comparison.
         let ungrouped_sizes: Vec<usize> = part
@@ -444,7 +455,10 @@ mod tests {
     fn builder_names() {
         assert_eq!(PeelingVcCoreset::new().name(), "peeling-vc-coreset");
         assert_eq!(LocalCoverCoreset::new().name(), "local-cover");
-        assert_eq!(LocalCoverCoreset::adversarial().name(), "local-cover-adversarial");
+        assert_eq!(
+            LocalCoverCoreset::adversarial().name(),
+            "local-cover-adversarial"
+        );
         assert_eq!(GroupedVcCoreset::new(2).name(), "grouped-vc-coreset");
     }
 

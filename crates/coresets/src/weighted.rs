@@ -93,7 +93,9 @@ pub fn compose_weighted_matching(n: usize, outputs: &[WeightedCoresetOutput]) ->
     let mut buckets: HashMap<u64, (f64, Vec<(Edge, f64)>)> = HashMap::new();
     for out in outputs {
         for (bound, edges) in &out.classes {
-            let entry = buckets.entry(bound.to_bits()).or_insert_with(|| (*bound, Vec::new()));
+            let entry = buckets
+                .entry(bound.to_bits())
+                .or_insert_with(|| (*bound, Vec::new()));
             entry.1.extend(edges.iter().copied());
         }
     }
@@ -110,8 +112,9 @@ pub fn compose_weighted_matching(n: usize, outputs: &[WeightedCoresetOutput]) ->
             let slot = weight_of.entry(*e).or_insert(*w);
             *slot = slot.max(*w);
         }
-        let class_graph = graph::Graph::from_edges(n, weight_of.keys().copied().collect::<Vec<_>>())
-            .expect("coreset edges are valid for the global vertex set");
+        let class_graph =
+            graph::Graph::from_edges(n, weight_of.keys().copied().collect::<Vec<_>>())
+                .expect("coreset edges are valid for the global vertex set");
         let class_matching = maximum_matching(&class_graph);
         for e in class_matching.edges() {
             let (u, v) = (e.u as usize, e.v as usize);
@@ -159,7 +162,10 @@ mod tests {
         let out = WeightedMatchingCoreset::default().build(&g);
         // At most n/2 edges per class and O(log max_weight) classes.
         let class_count = out.classes.len();
-        assert!(class_count <= 12, "1000:1 weight range with base 2 gives ~10 classes");
+        assert!(
+            class_count <= 12,
+            "1000:1 weight range with base 2 gives ~10 classes"
+        );
         assert!(out.size() <= class_count * g.n() / 2);
     }
 

@@ -20,7 +20,9 @@ impl CostModel {
     pub fn for_n(n: usize) -> Self {
         // ceil(log2 n): ids in 0..n need (n-1).ilog2() + 1 bits for n >= 2.
         let bits = (n.max(2) - 1).ilog2() + 1;
-        CostModel { bits_per_vertex: bits.max(1) }
+        CostModel {
+            bits_per_vertex: bits.max(1),
+        }
     }
 
     /// Words (vertex ids) needed to send `edges` edges and `vertices` vertex ids.

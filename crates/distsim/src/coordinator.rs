@@ -39,12 +39,18 @@ pub struct CoordinatorProtocol {
 impl CoordinatorProtocol {
     /// The paper's model: random partitioning across `k` machines.
     pub fn random(k: usize) -> Self {
-        CoordinatorProtocol { k, strategy: PartitionStrategy::Random }
+        CoordinatorProtocol {
+            k,
+            strategy: PartitionStrategy::Random,
+        }
     }
 
     /// Adversarial (sorted-chunk) partitioning across `k` machines.
     pub fn adversarial(k: usize) -> Self {
-        CoordinatorProtocol { k, strategy: PartitionStrategy::Adversarial }
+        CoordinatorProtocol {
+            k,
+            strategy: PartitionStrategy::Adversarial,
+        }
     }
 
     /// Runs the matching protocol: each machine sends the coreset built by
@@ -72,7 +78,11 @@ impl CoordinatorProtocol {
             communication.record_message(&model, c.m(), 0);
         }
         let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
-        Ok(SimultaneousRun { answer, communication, piece_sizes: partition.pieces().iter().map(Graph::m).collect() })
+        Ok(SimultaneousRun {
+            answer,
+            communication,
+            piece_sizes: partition.pieces().iter().map(Graph::m).collect(),
+        })
     }
 
     /// Runs the vertex-cover protocol: each machine sends the coreset built by
@@ -102,7 +112,11 @@ impl CoordinatorProtocol {
             communication.record_message(&model, o.residual.m(), o.fixed_vertices.len());
         }
         let answer = compose_vertex_cover(&outputs);
-        Ok(SimultaneousRun { answer, communication, piece_sizes: partition.pieces().iter().map(Graph::m).collect() })
+        Ok(SimultaneousRun {
+            answer,
+            communication,
+            piece_sizes: partition.pieces().iter().map(Graph::m).collect(),
+        })
     }
 }
 
@@ -170,8 +184,12 @@ mod tests {
         let mut r = rng(3);
         let g = gnp(300, 0.03, &mut r);
         let p = CoordinatorProtocol::random(4);
-        let a = p.run_matching(&g, &MaximumMatchingCoreset::new(), 11).unwrap();
-        let b = p.run_matching(&g, &MaximumMatchingCoreset::new(), 11).unwrap();
+        let a = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 11)
+            .unwrap();
+        let b = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 11)
+            .unwrap();
         assert_eq!(a.answer.len(), b.answer.len());
         assert_eq!(a.communication, b.communication);
     }

@@ -50,7 +50,11 @@ impl MapReduceConfig {
         let k = (n as f64).sqrt().ceil() as usize;
         let log_n = (n.max(2) as f64).log2();
         let memory_words = (2.0 * n as f64 * (n as f64).sqrt() * log_n).ceil() as u64;
-        MapReduceConfig { k: k.max(1), memory_words, input_already_random: false }
+        MapReduceConfig {
+            k: k.max(1),
+            memory_words,
+            input_already_random: false,
+        }
     }
 }
 
@@ -102,20 +106,16 @@ impl MapReduceSimulator {
         builder: &B,
         seed: u64,
     ) -> Result<MapReduceOutcome<Matching>, GraphError> {
-        self.run_generic(
-            g,
-            seed,
-            |pieces, params| {
-                let coresets: Vec<Graph> = pieces
-                    .par_iter()
-                    .enumerate()
-                    .map(|(i, p)| builder.build(p, params, i))
-                    .collect();
-                let coreset_words: Vec<u64> = coresets.iter().map(|c| 2 * c.m() as u64).collect();
-                let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
-                (answer, coreset_words)
-            },
-        )
+        self.run_generic(g, seed, |pieces, params| {
+            let coresets: Vec<Graph> = pieces
+                .par_iter()
+                .enumerate()
+                .map(|(i, p)| builder.build(p, params, i))
+                .collect();
+            let coreset_words: Vec<u64> = coresets.iter().map(|c| 2 * c.m() as u64).collect();
+            let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
+            (answer, coreset_words)
+        })
     }
 
     /// Runs the two-round (or one-round) coreset algorithm for minimum vertex
@@ -126,24 +126,20 @@ impl MapReduceSimulator {
         builder: &B,
         seed: u64,
     ) -> Result<MapReduceOutcome<VertexCover>, GraphError> {
-        self.run_generic(
-            g,
-            seed,
-            |pieces, params| {
-                let outputs: Vec<VcCoresetOutput> = pieces
-                    .par_iter()
-                    .enumerate()
-                    .map(|(i, p)| builder.build(p, params, i))
-                    .collect();
-                let model = CostModel::for_n(params.n);
-                let coreset_words: Vec<u64> = outputs
-                    .iter()
-                    .map(|o| model.words(o.residual.m(), o.fixed_vertices.len()))
-                    .collect();
-                let answer = compose_vertex_cover(&outputs);
-                (answer, coreset_words)
-            },
-        )
+        self.run_generic(g, seed, |pieces, params| {
+            let outputs: Vec<VcCoresetOutput> = pieces
+                .par_iter()
+                .enumerate()
+                .map(|(i, p)| builder.build(p, params, i))
+                .collect();
+            let model = CostModel::for_n(params.n);
+            let coreset_words: Vec<u64> = outputs
+                .iter()
+                .map(|o| model.words(o.residual.m(), o.fixed_vertices.len()))
+                .collect();
+            let answer = compose_vertex_cover(&outputs);
+            (answer, coreset_words)
+        })
     }
 
     fn run_generic<T>(
@@ -161,8 +157,12 @@ impl MapReduceSimulator {
         // (each machine holds its share of the input plus what it receives;
         // the received share dominates and is what we report).
         let partition = EdgePartition::random(g, k, &mut rng)?;
-        let max_piece_words =
-            partition.pieces().iter().map(|p| 2 * p.m() as u64).max().unwrap_or(0);
+        let max_piece_words = partition
+            .pieces()
+            .iter()
+            .map(|p| 2 * p.m() as u64)
+            .max()
+            .unwrap_or(0);
         if !self.config.input_already_random {
             rounds.push(RoundStats {
                 description: "shuffle: random re-partitioning of the edges".into(),
@@ -175,13 +175,19 @@ impl MapReduceSimulator {
         let (answer, coreset_words) = solve(partition.pieces(), &params);
         let central_words: u64 = coreset_words.iter().sum();
         rounds.push(RoundStats {
-            description: "coresets: build locally, union and solve on the designated machine".into(),
+            description: "coresets: build locally, union and solve on the designated machine"
+                .into(),
             max_words_per_machine: central_words.max(max_piece_words),
         });
 
-        let within_memory_budget =
-            rounds.iter().all(|r| r.max_words_per_machine <= self.config.memory_words);
-        Ok(MapReduceOutcome { answer, rounds, within_memory_budget })
+        let within_memory_budget = rounds
+            .iter()
+            .all(|r| r.max_words_per_machine <= self.config.memory_words);
+        Ok(MapReduceOutcome {
+            answer,
+            rounds,
+            within_memory_budget,
+        })
     }
 }
 
@@ -214,7 +220,9 @@ mod tests {
         let g = gnm(n, m, &mut rng(1));
         let cfg = MapReduceConfig::paper_defaults(n);
         let sim = MapReduceSimulator::new(cfg);
-        let out = sim.run_matching(&g, &MaximumMatchingCoreset::new(), 3).unwrap();
+        let out = sim
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 3)
+            .unwrap();
         assert_eq!(out.round_count(), 2);
         assert!(out.within_memory_budget, "rounds: {:?}", out.rounds);
         assert!(out.answer.is_valid_for(&g));
@@ -252,7 +260,11 @@ mod tests {
     fn tight_memory_budget_is_detected() {
         let n = 300;
         let g = gnm(n, 8_000, &mut rng(4));
-        let cfg = MapReduceConfig { k: 4, memory_words: 10, input_already_random: false };
+        let cfg = MapReduceConfig {
+            k: 4,
+            memory_words: 10,
+            input_already_random: false,
+        };
         let out = MapReduceSimulator::new(cfg)
             .run_matching(&g, &MaximumMatchingCoreset::new(), 1)
             .unwrap();
@@ -262,7 +274,11 @@ mod tests {
     #[test]
     fn zero_machines_rejected() {
         let g = gnm(20, 30, &mut rng(5));
-        let cfg = MapReduceConfig { k: 0, memory_words: 1000, input_already_random: false };
+        let cfg = MapReduceConfig {
+            k: 0,
+            memory_words: 1000,
+            input_already_random: false,
+        };
         assert!(MapReduceSimulator::new(cfg)
             .run_matching(&g, &MaximumMatchingCoreset::new(), 0)
             .is_err());

@@ -63,7 +63,10 @@ impl FilteringOutcome {
 ///
 /// Panics if `memory_edges == 0`.
 pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> FilteringOutcome {
-    assert!(memory_edges > 0, "memory budget must allow at least one edge");
+    assert!(
+        memory_edges > 0,
+        "memory budget must allow at least one edge"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut matched = vec![false; g.n()];
     let mut matching = Matching::new();
@@ -78,8 +81,11 @@ pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> Filterin
 
         // Sample so the expected sample size is half the memory budget.
         let p = (memory_edges as f64 / (2.0 * remaining.len() as f64)).min(1.0);
-        let sample: Vec<graph::Edge> =
-            remaining.iter().copied().filter(|_| rng.gen_bool(p)).collect();
+        let sample: Vec<graph::Edge> = remaining
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(p))
+            .collect();
         max_sample_edges = max_sample_edges.max(sample.len());
 
         // Maximal matching of the sample on the central machine.
@@ -112,12 +118,21 @@ pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> Filterin
         matching.try_add(*e, &mut matched);
     }
 
-    FilteringOutcome { matching, rounds, iterations, max_sample_edges }
+    FilteringOutcome {
+        matching,
+        rounds,
+        iterations,
+        max_sample_edges,
+    }
 }
 
 /// Runs filtering and returns its 2-approximate vertex cover together with the
 /// outcome metadata.
-pub fn filtering_vertex_cover(g: &Graph, memory_edges: usize, seed: u64) -> (VertexCover, FilteringOutcome) {
+pub fn filtering_vertex_cover(
+    g: &Graph,
+    memory_edges: usize,
+    seed: u64,
+) -> (VertexCover, FilteringOutcome) {
     let outcome = filtering_matching(g, memory_edges, seed);
     (outcome.vertex_cover(), outcome)
 }
@@ -146,12 +161,19 @@ mod tests {
         let g = gnm(300, 5_000, &mut rng(1));
         let out = filtering_matching(&g, 500, 7);
         assert!(out.matching.is_valid_for(&g));
-        assert!(out.matching.is_maximal_in(&g), "filtering must end with a maximal matching");
+        assert!(
+            out.matching.is_maximal_in(&g),
+            "filtering must end with a maximal matching"
+        );
         // Maximal => 1/2-approximation.
         let opt = maximum_matching(&g).len();
         assert!(2 * out.matching.len() >= opt);
         // Memory budget respected by every sample.
-        assert!(out.max_sample_edges <= 500 + 200, "sample overshoot: {}", out.max_sample_edges);
+        assert!(
+            out.max_sample_edges <= 500 + 200,
+            "sample overshoot: {}",
+            out.max_sample_edges
+        );
     }
 
     #[test]
@@ -159,7 +181,10 @@ mod tests {
         let g = gnm(400, 12_000, &mut rng(2));
         let out = filtering_matching(&g, 1_000, 3);
         assert!(out.iterations >= 1);
-        assert!(out.rounds >= 3, "filtering uses at least 3 rounds when the input exceeds memory");
+        assert!(
+            out.rounds >= 3,
+            "filtering uses at least 3 rounds when the input exceeds memory"
+        );
     }
 
     #[test]

@@ -42,7 +42,13 @@ pub fn report_default_matching_protocol(
     reference_matching_size: usize,
     seed: u64,
 ) -> Result<MatchingProtocolReport, GraphError> {
-    report_matching_protocol(g, k, &MaximumMatchingCoreset::new(), reference_matching_size, seed)
+    report_matching_protocol(
+        g,
+        k,
+        &MaximumMatchingCoreset::new(),
+        reference_matching_size,
+        seed,
+    )
 }
 
 /// Runs the Remark 5.2 protocol: maximum-matching coresets subsampled with
@@ -81,7 +87,11 @@ mod tests {
         assert!(opt >= planted.len());
         let report = report_default_matching_protocol(&g, 8, opt, 3).unwrap();
         assert!(report.approximation_ratio >= 1.0 - 1e-9);
-        assert!(report.approximation_ratio <= 3.0, "ratio {}", report.approximation_ratio);
+        assert!(
+            report.approximation_ratio <= 3.0,
+            "ratio {}",
+            report.approximation_ratio
+        );
         assert_eq!(report.k, 8);
         assert_eq!(report.communication.message_count(), 8);
     }

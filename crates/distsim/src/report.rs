@@ -117,4 +117,63 @@ mod tests {
         let back: MatchingProtocolReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.matching_size, 45);
     }
+
+    #[test]
+    fn matching_report_round_trips_every_field() {
+        let mut communication = CommunicationCost::default();
+        communication.record_message(&crate::comm::CostModel::for_n(100), 45, 0);
+        let report = MatchingProtocolReport {
+            protocol: "subsampled".into(),
+            k: 8,
+            n: 100,
+            m: 400,
+            matching_size: 45,
+            reference_matching_size: 50,
+            approximation_ratio: 50.0 / 45.0,
+            communication,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MatchingProtocolReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.protocol, report.protocol);
+        assert_eq!(back.k, report.k);
+        assert_eq!(back.n, report.n);
+        assert_eq!(back.m, report.m);
+        assert_eq!(back.matching_size, report.matching_size);
+        assert_eq!(back.reference_matching_size, report.reference_matching_size);
+        assert_eq!(back.approximation_ratio, report.approximation_ratio);
+        assert_eq!(back.communication, report.communication);
+    }
+
+    #[test]
+    fn vertex_cover_report_round_trips_through_pretty_json() {
+        let mut communication = CommunicationCost::default();
+        let model = crate::comm::CostModel::for_n(1 << 20);
+        communication.record_message(&model, 1024, 64);
+        communication.record_message(&model, 0, 32);
+        let report = VertexCoverProtocolReport {
+            protocol: "peeling".into(),
+            k: 32,
+            n: 1 << 20,
+            m: 1 << 23,
+            feasible: true,
+            cover_size: 9000,
+            reference_cover_size: 4096,
+            approximation_ratio: 9000.0 / 4096.0,
+            communication,
+        };
+        let pretty = serde_json::to_string_pretty(&report).unwrap();
+        assert!(pretty.contains('\n'), "pretty output should be multi-line");
+        let back: VertexCoverProtocolReport = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(back.feasible, report.feasible);
+        assert_eq!(back.cover_size, report.cover_size);
+        assert_eq!(back.approximation_ratio, report.approximation_ratio);
+        assert_eq!(back.communication, report.communication);
+    }
+
+    #[test]
+    fn report_deserialization_rejects_missing_fields() {
+        let err = serde_json::from_str::<MatchingProtocolReport>("{\"protocol\":\"x\"}");
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("missing field"));
+    }
 }

@@ -25,7 +25,11 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// Creates an empty bipartite graph.
     pub fn empty(left_n: usize, right_n: usize) -> Self {
-        BipartiteGraph { left_n, right_n, edges: Vec::new() }
+        BipartiteGraph {
+            left_n,
+            right_n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a bipartite graph from `(left, right)` pairs, validating ranges
@@ -47,7 +51,11 @@ impl BipartiteGraph {
                 edges.push((l, r));
             }
         }
-        Ok(BipartiteGraph { left_n, right_n, edges })
+        Ok(BipartiteGraph {
+            left_n,
+            right_n,
+            edges,
+        })
     }
 
     /// Builds without validation; used by trusted generators.
@@ -64,7 +72,11 @@ impl BipartiteGraph {
                 debug_assert!(seen.insert((l, r)), "duplicate bipartite edge ({l}, {r})");
             }
         }
-        BipartiteGraph { left_n, right_n, edges }
+        BipartiteGraph {
+            left_n,
+            right_n,
+            edges,
+        }
     }
 
     /// Number of left vertices.
@@ -164,7 +176,11 @@ impl BipartiteGraph {
     /// Returns the subgraph containing only the given edges (by index).
     pub fn edge_subgraph(&self, indices: &[usize]) -> BipartiteGraph {
         let edges = indices.iter().map(|&i| self.edges[i]).collect();
-        BipartiteGraph { left_n: self.left_n, right_n: self.right_n, edges }
+        BipartiteGraph {
+            left_n: self.left_n,
+            right_n: self.right_n,
+            edges,
+        }
     }
 }
 
@@ -192,11 +208,17 @@ mod tests {
         assert_eq!(g.m(), 2);
         assert!(matches!(
             BipartiteGraph::from_pairs(2, 2, vec![(2, 0)]),
-            Err(GraphError::LeftVertexOutOfRange { vertex: 2, left_n: 2 })
+            Err(GraphError::LeftVertexOutOfRange {
+                vertex: 2,
+                left_n: 2
+            })
         ));
         assert!(matches!(
             BipartiteGraph::from_pairs(2, 2, vec![(0, 5)]),
-            Err(GraphError::RightVertexOutOfRange { vertex: 5, right_n: 2 })
+            Err(GraphError::RightVertexOutOfRange {
+                vertex: 5,
+                right_n: 2
+            })
         ));
     }
 

@@ -63,7 +63,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "vertex {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -103,7 +106,10 @@ impl WeightedEdge {
             weight.is_finite() && weight >= 0.0,
             "edge weight must be finite and non-negative, got {weight}"
         );
-        WeightedEdge { edge: Edge::new(a, b), weight }
+        WeightedEdge {
+            edge: Edge::new(a, b),
+            weight,
+        }
     }
 
     /// Returns the endpoints `(u, v)` with `u <= v`.
@@ -180,6 +186,9 @@ mod tests {
     fn edges_order_lexicographically() {
         let mut edges = vec![Edge::new(3, 1), Edge::new(0, 2), Edge::new(1, 2)];
         edges.sort();
-        assert_eq!(edges, vec![Edge::new(0, 2), Edge::new(1, 2), Edge::new(1, 3)]);
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 2), Edge::new(1, 2), Edge::new(1, 3)]
+        );
     }
 }

@@ -49,16 +49,25 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
                 write!(f, "self-loop on vertex {vertex} is not allowed")
             }
             GraphError::LeftVertexOutOfRange { vertex, left_n } => {
-                write!(f, "left vertex {vertex} out of range (left side has {left_n} vertices)")
+                write!(
+                    f,
+                    "left vertex {vertex} out of range (left side has {left_n} vertices)"
+                )
             }
             GraphError::RightVertexOutOfRange { vertex, right_n } => {
-                write!(f, "right vertex {vertex} out of range (right side has {right_n} vertices)")
+                write!(
+                    f,
+                    "right vertex {vertex} out of range (right side has {right_n} vertices)"
+                )
             }
             GraphError::InvalidMachineCount { k } => {
                 write!(f, "number of machines k={k} must be at least 1")
@@ -88,7 +97,9 @@ mod tests {
         let e = GraphError::InvalidMachineCount { k: 0 };
         assert!(e.to_string().contains("k=0"));
 
-        let e = GraphError::InvalidParameter { reason: "p must be in [0,1]".into() };
+        let e = GraphError::InvalidParameter {
+            reason: "p must be in [0,1]".into(),
+        };
         assert!(e.to_string().contains("p must be in [0,1]"));
     }
 

@@ -17,7 +17,10 @@ pub fn random_bipartite<R: Rng + ?Sized>(
     p: f64,
     rng: &mut R,
 ) -> BipartiteGraph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1], got {p}"
+    );
     if left_n == 0 || right_n == 0 || p == 0.0 {
         return BipartiteGraph::empty(left_n, right_n);
     }
@@ -61,7 +64,10 @@ pub fn random_bipartite<R: Rng + ?Sized>(
 ///
 /// Panics if `d > n`.
 pub fn near_regular_bipartite<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> BipartiteGraph {
-    assert!(d <= n, "degree {d} cannot exceed the number of right vertices {n}");
+    assert!(
+        d <= n,
+        "degree {d} cannot exceed the number of right vertices {n}"
+    );
     let mut edges = Vec::with_capacity(n * d);
     let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
     for l in 0..n as VertexId {

@@ -17,7 +17,10 @@ use std::collections::HashSet;
 ///
 /// Panics if `p` is not in `[0, 1]`.
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1], got {p}"
+    );
     if n < 2 || p == 0.0 {
         return Graph::empty(n);
     }
@@ -54,7 +57,10 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// Panics if `m` exceeds the number of available pairs `n(n-1)/2`.
 pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     let total_pairs = if n < 2 { 0 } else { n * (n - 1) / 2 };
-    assert!(m <= total_pairs, "requested {m} edges but only {total_pairs} pairs exist");
+    assert!(
+        m <= total_pairs,
+        "requested {m} edges but only {total_pairs} pairs exist"
+    );
     if m == 0 {
         return Graph::empty(n);
     }
@@ -111,7 +117,8 @@ fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
     let idx_f = idx as f64;
     let n_f = n as f64;
     // Solve u^2 - (2n - 1)u + 2*idx >= 0 boundary.
-    let estimate = (2.0 * n_f - 1.0 - ((2.0 * n_f - 1.0).powi(2) - 8.0 * idx_f).max(0.0).sqrt()) / 2.0;
+    let estimate =
+        (2.0 * n_f - 1.0 - ((2.0 * n_f - 1.0).powi(2) - 8.0 * idx_f).max(0.0).sqrt()) / 2.0;
     let mut u = (estimate.floor().max(0.0) as u64).min(n.saturating_sub(2));
     // Guard against floating-point rounding by adjusting locally.
     loop {
@@ -166,7 +173,11 @@ mod tests {
         let g = gnp(n, p, &mut rng(1));
         let expected = p * (n * (n - 1) / 2) as f64;
         let ratio = g.m() as f64 / expected;
-        assert!(ratio > 0.85 && ratio < 1.15, "m={} expected≈{expected}", g.m());
+        assert!(
+            ratio > 0.85 && ratio < 1.15,
+            "m={} expected≈{expected}",
+            g.m()
+        );
         assert_eq!(g.n(), n);
     }
 

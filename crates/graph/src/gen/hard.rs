@@ -77,7 +77,9 @@ pub fn d_matching<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<DMatchingInstance, GraphError> {
     if alpha < 1.0 {
-        return Err(GraphError::InvalidParameter { reason: format!("alpha must be >= 1, got {alpha}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("alpha must be >= 1, got {alpha}"),
+        });
     }
     if k == 0 {
         return Err(GraphError::InvalidMachineCount { k });
@@ -116,7 +118,13 @@ pub fn d_matching<R: Rng + ?Sized>(
     edges.extend_from_slice(&planted);
 
     let graph = BipartiteGraph::from_pairs(n, n, edges)?;
-    Ok(DMatchingInstance { graph, a, b, planted_matching: planted, dense_edges })
+    Ok(DMatchingInstance {
+        graph,
+        a,
+        b,
+        planted_matching: planted,
+        dense_edges,
+    })
 }
 
 /// A sample from the vertex-cover lower-bound distribution `D_VC`.
@@ -163,7 +171,9 @@ pub fn d_vc<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<DVcInstance, GraphError> {
     if alpha < 1.0 {
-        return Err(GraphError::InvalidParameter { reason: format!("alpha must be >= 1, got {alpha}") });
+        return Err(GraphError::InvalidParameter {
+            reason: format!("alpha must be >= 1, got {alpha}"),
+        });
     }
     if k == 0 {
         return Err(GraphError::InvalidMachineCount { k });
@@ -190,13 +200,20 @@ pub fn d_vc<R: Rng + ?Sized>(
         }
     }
 
-    let v_star = *rest.choose(rng).expect("L \\ A is non-empty because block < n");
+    let v_star = *rest
+        .choose(rng)
+        .expect("L \\ A is non-empty because block < n");
     let r_star = rng.gen_range(0..n as VertexId);
     let e_star = (v_star, r_star);
     edges.push(e_star);
 
     let graph = BipartiteGraph::from_pairs(n, n, edges)?;
-    Ok(DVcInstance { graph, a, v_star, e_star })
+    Ok(DVcInstance {
+        graph,
+        a,
+        v_star,
+        e_star,
+    })
 }
 
 /// The negative-control instance for arbitrary maximal matchings.
@@ -230,9 +247,20 @@ impl TrapInstance {
 }
 
 impl TrapInstance {
-    fn new(graph: Graph, planted: Vec<Edge>, trap_vertices: Vec<VertexId>, trap_edges: Vec<Edge>) -> Self {
+    fn new(
+        graph: Graph,
+        planted: Vec<Edge>,
+        trap_vertices: Vec<VertexId>,
+        trap_edges: Vec<Edge>,
+    ) -> Self {
         let trap_set = trap_edges.iter().copied().collect();
-        TrapInstance { graph, planted_matching: planted, trap_vertices, trap_edges, trap_set }
+        TrapInstance {
+            graph,
+            planted_matching: planted,
+            trap_vertices,
+            trap_edges,
+            trap_set,
+        }
     }
 }
 
@@ -257,7 +285,9 @@ pub fn maximal_matching_trap(n: usize, trap_fraction: f64) -> Result<TrapInstanc
         });
     }
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "n must be positive".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "n must be positive".into(),
+        });
     }
     let c = ((trap_fraction * n as f64).round() as usize).max(1);
     let total = 2 * n + c;
@@ -304,7 +334,11 @@ mod tests {
         assert_eq!(inst.planted_matching.len(), n - 100);
         assert!(inst.matching_lower_bound() >= n - 100);
         // The dense block has about |A| * |B| * k * alpha / n = 100*100*10*5/500 = 1000 edges.
-        assert!(inst.dense_edges > 500 && inst.dense_edges < 1600, "dense edges = {}", inst.dense_edges);
+        assert!(
+            inst.dense_edges > 500 && inst.dense_edges < 1600,
+            "dense edges = {}",
+            inst.dense_edges
+        );
         // Planted edges avoid A and B entirely.
         let a_set: HashSet<_> = inst.a.iter().collect();
         let b_set: HashSet<_> = inst.b.iter().collect();
@@ -335,16 +369,27 @@ mod tests {
         assert!(!inst.a.contains(&inst.v_star));
         assert_eq!(inst.e_star.0, inst.v_star);
         // A ∪ {v*} really is a vertex cover.
-        let cover: HashSet<VertexId> = inst.a.iter().copied().chain(std::iter::once(inst.v_star)).collect();
+        let cover: HashSet<VertexId> = inst
+            .a
+            .iter()
+            .copied()
+            .chain(std::iter::once(inst.v_star))
+            .collect();
         for &(l, _) in inst.graph.edges() {
-            assert!(cover.contains(&l), "edge with left endpoint {l} not covered");
+            assert!(
+                cover.contains(&l),
+                "edge with left endpoint {l} not covered"
+            );
         }
     }
 
     #[test]
     fn d_vc_rejects_bad_parameters() {
         assert!(d_vc(100, 0.9, 4, &mut rng(4)).is_err());
-        assert!(d_vc(100, 1.0, 4, &mut rng(4)).is_err(), "|A| = n leaves no room for v*");
+        assert!(
+            d_vc(100, 1.0, 4, &mut rng(4)).is_err(),
+            "|A| = n leaves no room for v*"
+        );
         assert!(d_vc(100, 5.0, 0, &mut rng(4)).is_err());
     }
 

@@ -20,7 +20,9 @@ pub mod structured;
 
 pub use bipartite::{near_regular_bipartite, planted_matching_bipartite, random_bipartite};
 pub use er::{gnm, gnp};
-pub use hard::{d_matching, d_vc, maximal_matching_trap, DMatchingInstance, DVcInstance, TrapInstance};
+pub use hard::{
+    d_matching, d_vc, maximal_matching_trap, DMatchingInstance, DVcInstance, TrapInstance,
+};
 pub use powerlaw::chung_lu;
 pub use rmat::{grid, rmat, rmat_graph500};
 pub use structured::{complete, cycle, path, star, star_forest};

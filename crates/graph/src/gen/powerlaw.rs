@@ -32,8 +32,9 @@ pub fn chung_lu<R: Rng + ?Sized>(n: usize, gamma: f64, avg_degree: f64, rng: &mu
     // Raw power-law weights, then rescale so the mean weight equals avg_degree.
     let i0 = 1.0;
     let exponent = 1.0 / (gamma - 1.0);
-    let mut weights: Vec<f64> =
-        (0..n).map(|i| (n as f64 / (i as f64 + i0)).powf(exponent)).collect();
+    let mut weights: Vec<f64> = (0..n)
+        .map(|i| (n as f64 / (i as f64 + i0)).powf(exponent))
+        .collect();
     let mean: f64 = weights.iter().sum::<f64>() / n as f64;
     let scale = avg_degree / mean;
     for w in &mut weights {

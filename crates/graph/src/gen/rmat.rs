@@ -29,8 +29,14 @@ pub fn rmat<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Graph {
     let (a, b, c, d) = probabilities;
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0, "probabilities must be non-negative");
-    assert!(((a + b + c + d) - 1.0).abs() < 1e-6, "probabilities must sum to 1");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "probabilities must be non-negative"
+    );
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-6,
+        "probabilities must sum to 1"
+    );
 
     let n = 1usize << scale;
     let target = edge_factor * n;
@@ -108,7 +114,11 @@ mod tests {
     fn rmat_produces_a_skewed_simple_graph() {
         let g = rmat_graph500(10, 8, &mut rng(1)); // 1024 vertices, ~8192 edges
         assert_eq!(g.n(), 1024);
-        assert!(g.m() > 4000, "should produce a substantial number of edges, got {}", g.m());
+        assert!(
+            g.m() > 4000,
+            "should produce a substantial number of edges, got {}",
+            g.m()
+        );
         assert!(g.m() <= 8 * 1024);
         // Skew: the maximum degree is far above the average.
         let avg = 2.0 * g.m() as f64 / g.n() as f64;

@@ -26,7 +26,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a graph from an iterator of vertex pairs, validating every edge
@@ -73,7 +76,10 @@ impl Graph {
         {
             let mut seen = HashSet::with_capacity(edges.len());
             for e in &edges {
-                debug_assert!((e.u as usize) < n && (e.v as usize) < n, "endpoint out of range");
+                debug_assert!(
+                    (e.u as usize) < n && (e.v as usize) < n,
+                    "endpoint out of range"
+                );
                 debug_assert!(e.u != e.v, "self loop");
                 debug_assert!(seen.insert(*e), "duplicate edge {e:?}");
             }
@@ -220,7 +226,10 @@ impl Adjacency {
         for list in &mut neighbors {
             list.sort_unstable();
         }
-        Adjacency { n: g.n(), neighbors }
+        Adjacency {
+            n: g.n(),
+            neighbors,
+        }
     }
 
     /// Number of vertices.

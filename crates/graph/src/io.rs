@@ -21,7 +21,9 @@ pub fn to_edge_list(g: &Graph) -> String {
 
 /// Parses the `n m\nu v\n...` edge-list format produced by [`to_edge_list`].
 pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    let mut lines = text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
     let header = lines.next().ok_or_else(|| GraphError::InvalidParameter {
         reason: "edge list is empty (missing `n m` header)".into(),
     })?;
@@ -46,9 +48,13 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
 
 fn parse_field<T: std::str::FromStr>(field: Option<&str>, name: &str) -> Result<T, GraphError> {
     field
-        .ok_or_else(|| GraphError::InvalidParameter { reason: format!("missing field `{name}`") })?
+        .ok_or_else(|| GraphError::InvalidParameter {
+            reason: format!("missing field `{name}`"),
+        })?
         .parse()
-        .map_err(|_| GraphError::InvalidParameter { reason: format!("field `{name}` is not a number") })
+        .map_err(|_| GraphError::InvalidParameter {
+            reason: format!("field `{name}` is not a number"),
+        })
 }
 
 #[cfg(test)]
@@ -69,6 +75,29 @@ mod tests {
         let g = from_edge_list(text).unwrap();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::from_pairs(0, vec![]).unwrap();
+        let text = to_edge_list(&g);
+        assert_eq!(text, "0 0\n");
+        assert_eq!(from_edge_list(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn isolated_vertices_survive_round_trip() {
+        // Vertices 3..10 touch no edge; `n` in the header must preserve them.
+        let g = Graph::from_pairs(10, vec![(0, 1), (1, 2)]).unwrap();
+        let g2 = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g2.n(), 10);
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    fn tolerates_extra_whitespace() {
+        let g = from_edge_list("  3   2  \n 0\t1 \n\t1 2\n").unwrap();
+        assert_eq!((g.n(), g.m()), (3, 2));
     }
 
     #[test]

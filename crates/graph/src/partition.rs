@@ -229,7 +229,11 @@ mod tests {
         assert_eq!(reunited.m(), g.m());
         // Every original edge appears in exactly one piece.
         for e in g.edges() {
-            let count = part.pieces().iter().filter(|p| p.edges().contains(e)).count();
+            let count = part
+                .pieces()
+                .iter()
+                .filter(|p| p.edges().contains(e))
+                .count();
             assert_eq!(count, 1, "edge {e:?} should be in exactly one piece");
         }
     }
@@ -264,7 +268,11 @@ mod tests {
         let expected = g.m() as f64 / k as f64;
         for p in part.pieces() {
             let ratio = p.m() as f64 / expected;
-            assert!(ratio > 0.6 && ratio < 1.4, "piece size {} far from expected {expected}", p.m());
+            assert!(
+                ratio > 0.6 && ratio < 1.4,
+                "piece size {} far from expected {expected}",
+                p.m()
+            );
         }
     }
 
@@ -318,7 +326,13 @@ mod tests {
         let mut r = rng(7);
         let g = WeightedGraph::from_triples(
             6,
-            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (4, 5, 5.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 4, 4.0),
+                (4, 5, 5.0),
+            ],
         )
         .unwrap();
         let pieces = partition_weighted(&g, 3, PartitionStrategy::Random, &mut r).unwrap();

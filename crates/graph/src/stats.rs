@@ -25,8 +25,18 @@ impl GraphStats {
         let degrees = g.degrees();
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
         let isolated = degrees.iter().filter(|&&d| d == 0).count();
-        let avg_degree = if g.n() == 0 { 0.0 } else { 2.0 * g.m() as f64 / g.n() as f64 };
-        GraphStats { n: g.n(), m: g.m(), max_degree, avg_degree, isolated }
+        let avg_degree = if g.n() == 0 {
+            0.0
+        } else {
+            2.0 * g.m() as f64 / g.n() as f64
+        };
+        GraphStats {
+            n: g.n(),
+            m: g.m(),
+            max_degree,
+            avg_degree,
+            isolated,
+        }
     }
 }
 

@@ -21,7 +21,10 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// Creates an empty weighted graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        WeightedGraph { n, edges: Vec::new() }
+        WeightedGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a weighted graph from `(u, v, w)` triples; duplicate edges keep
@@ -48,10 +51,14 @@ impl WeightedGraph {
                 });
             }
             let e = Edge::new(a, b);
-            best.entry(e).and_modify(|old| *old = old.max(w)).or_insert(w);
+            best.entry(e)
+                .and_modify(|old| *old = old.max(w))
+                .or_insert(w);
         }
-        let mut edges: Vec<WeightedEdge> =
-            best.into_iter().map(|(edge, weight)| WeightedEdge { edge, weight }).collect();
+        let mut edges: Vec<WeightedEdge> = best
+            .into_iter()
+            .map(|(edge, weight)| WeightedEdge { edge, weight })
+            .collect();
         edges.sort_by_key(|we| we.edge);
         Ok(WeightedGraph { n, edges })
     }
@@ -108,7 +115,11 @@ impl WeightedGraph {
             .map(|e| e.weight)
             .filter(|&w| w > 0.0)
             .fold(f64::INFINITY, f64::min);
-        let scale = if min_pos.is_finite() && min_pos < 1.0 { 1.0 / min_pos } else { 1.0 };
+        let scale = if min_pos.is_finite() && min_pos < 1.0 {
+            1.0 / min_pos
+        } else {
+            1.0
+        };
 
         let mut classes: HashMap<u32, Vec<Edge>> = HashMap::new();
         for e in &self.edges {
@@ -119,7 +130,10 @@ impl WeightedGraph {
         let mut out: Vec<(f64, Graph)> = classes
             .into_iter()
             .map(|(class, edges)| {
-                (base.powi(class as i32) / scale, Graph::from_edges_unchecked(self.n, edges))
+                (
+                    base.powi(class as i32) / scale,
+                    Graph::from_edges_unchecked(self.n, edges),
+                )
             })
             .collect();
         out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite class bounds"));
@@ -132,7 +146,10 @@ impl WeightedGraph {
             return None;
         }
         let e = Edge::new(a, b);
-        self.edges.iter().find(|we| we.edge == e).map(|we| we.weight)
+        self.edges
+            .iter()
+            .find(|we| we.edge == e)
+            .map(|we| we.weight)
     }
 }
 
@@ -142,7 +159,8 @@ mod tests {
 
     #[test]
     fn construction_and_lookup() {
-        let g = WeightedGraph::from_triples(4, vec![(0, 1, 2.0), (1, 2, 5.0), (2, 3, 0.5)]).unwrap();
+        let g =
+            WeightedGraph::from_triples(4, vec![(0, 1, 2.0), (1, 2, 5.0), (2, 3, 0.5)]).unwrap();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 3);
         assert_eq!(g.weight_of(1, 0), Some(2.0));
@@ -179,7 +197,13 @@ mod tests {
     fn weight_classes_partition_edges() {
         let g = WeightedGraph::from_triples(
             6,
-            vec![(0, 1, 1.0), (1, 2, 1.5), (2, 3, 4.0), (3, 4, 8.0), (4, 5, 100.0)],
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.5),
+                (2, 3, 4.0),
+                (3, 4, 8.0),
+                (4, 5, 100.0),
+            ],
         )
         .unwrap();
         let classes = g.weight_classes(2.0);

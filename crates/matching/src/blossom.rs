@@ -87,7 +87,9 @@ impl BlossomState {
                 if self.base[v as usize] == self.base[to as usize] || mate[v as usize] == to {
                     continue;
                 }
-                if to == root || (mate[to as usize] != NONE && self.parent[mate[to as usize] as usize] != NONE)
+                if to == root
+                    || (mate[to as usize] != NONE
+                        && self.parent[mate[to as usize] as usize] != NONE)
                 {
                     // Found a blossom: contract it.
                     let cur_base = self.lca(v, to, mate);
@@ -171,9 +173,9 @@ mod tests {
     use super::*;
     use crate::hopcroft_karp::hopcroft_karp_size;
     use crate::matching::brute_force_maximum_matching_size;
+    use graph::gen::bipartite::random_bipartite;
     use graph::gen::er::gnp;
     use graph::gen::structured::{complete, cycle, path, star};
-    use graph::gen::bipartite::random_bipartite;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -221,8 +223,12 @@ mod tests {
         let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
         let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
         let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
-        let edges: Vec<(u32, u32)> =
-            outer.iter().chain(spokes.iter()).chain(inner.iter()).copied().collect();
+        let edges: Vec<(u32, u32)> = outer
+            .iter()
+            .chain(spokes.iter())
+            .chain(inner.iter())
+            .copied()
+            .collect();
         let g = Graph::from_pairs(10, edges).unwrap();
         let m = blossom_maximum_matching(&g);
         assert_eq!(m.len(), 5);

@@ -94,7 +94,10 @@ mod tests {
             let g = gnp(14, 0.3, &mut r);
             let maximal = maximal_matching(&g).len();
             let maximum = brute_force_maximum_matching_size(&g);
-            assert!(2 * maximal >= maximum, "maximal {maximal} vs maximum {maximum}");
+            assert!(
+                2 * maximal >= maximum,
+                "maximal {maximal} vs maximum {maximum}"
+            );
         }
     }
 

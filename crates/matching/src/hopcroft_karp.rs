@@ -49,12 +49,7 @@ pub fn hopcroft_karp_size(g: &BipartiteGraph) -> usize {
     hopcroft_karp(g).len()
 }
 
-fn bfs(
-    adj: &[Vec<VertexId>],
-    pair_left: &[u32],
-    pair_right: &[u32],
-    dist: &mut [u32],
-) -> bool {
+fn bfs(adj: &[Vec<VertexId>], pair_left: &[u32], pair_right: &[u32], dist: &mut [u32]) -> bool {
     let mut queue = VecDeque::new();
     for (l, &p) in pair_left.iter().enumerate() {
         if p == NIL {
@@ -137,8 +132,9 @@ mod tests {
         assert_eq!(hopcroft_karp(&g), vec![(0, 1)]);
 
         // Perfect matching on a 3x3 "crown".
-        let g = BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)])
-            .unwrap();
+        let g =
+            BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)])
+                .unwrap();
         let m = hopcroft_karp(&g);
         assert_eq!(m.len(), 3);
         assert_is_matching(&m);
@@ -157,8 +153,9 @@ mod tests {
     #[test]
     fn hall_violator_limits_matching() {
         // 3 left vertices whose joint neighbourhood is just 2 right vertices.
-        let g = BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
-            .unwrap();
+        let g =
+            BipartiteGraph::from_pairs(3, 3, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)])
+                .unwrap();
         assert_eq!(hopcroft_karp_size(&g), 2);
     }
 
@@ -167,7 +164,11 @@ mod tests {
         for seed in 0..3 {
             let (g, planted) = planted_matching_bipartite(120, 0.02, &mut rng(seed));
             let m = hopcroft_karp(&g);
-            assert_eq!(m.len(), planted.len(), "planted perfect matching must be recovered in size");
+            assert_eq!(
+                m.len(),
+                planted.len(),
+                "planted perfect matching must be recovered in size"
+            );
             assert_is_matching(&m);
         }
     }

@@ -80,7 +80,10 @@ impl Matching {
 
     /// Returns the partner of `v` in the matching, if matched.
     pub fn mate(&self, v: VertexId) -> Option<VertexId> {
-        self.edges.iter().find(|e| e.is_incident(v)).map(|e| e.other(v))
+        self.edges
+            .iter()
+            .find(|e| e.is_incident(v))
+            .map(|e| e.other(v))
     }
 
     /// A mate array indexed by vertex id (length `n`).
@@ -126,7 +129,9 @@ impl Matching {
     /// Checks maximality in `g`: no edge of `g` has both endpoints unmatched.
     pub fn is_maximal_in(&self, g: &Graph) -> bool {
         let matched = self.matched_vertices();
-        g.edges().iter().all(|e| matched.contains(&e.u) || matched.contains(&e.v))
+        g.edges()
+            .iter()
+            .all(|e| matched.contains(&e.u) || matched.contains(&e.v))
     }
 }
 

@@ -35,7 +35,8 @@ pub fn maximum_matching_with(g: &Graph, algorithm: MaximumMatchingAlgorithm) -> 
     match algorithm {
         MaximumMatchingAlgorithm::Blossom => blossom_maximum_matching(g),
         MaximumMatchingAlgorithm::HopcroftKarp => {
-            let coloring = two_coloring(g).expect("HopcroftKarp requested on a non-bipartite graph");
+            let coloring =
+                two_coloring(g).expect("HopcroftKarp requested on a non-bipartite graph");
             hopcroft_karp_on_coloring(g, &coloring)
         }
         MaximumMatchingAlgorithm::Auto => match two_coloring(g) {
@@ -117,7 +118,12 @@ fn hopcroft_karp_on_coloring(g: &Graph, color: &[u8]) -> Matching {
 /// the ids of [`BipartiteGraph::to_graph`] (right ids offset by `left_n`).
 pub fn bipartite_pairs_to_matching(g: &BipartiteGraph, pairs: &[(VertexId, VertexId)]) -> Matching {
     let offset = g.left_n() as VertexId;
-    Matching::from_edges(pairs.iter().map(|&(l, r)| Edge::new(l, offset + r)).collect())
+    Matching::from_edges(
+        pairs
+            .iter()
+            .map(|&(l, r)| Edge::new(l, offset + r))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -148,7 +154,11 @@ mod tests {
             let g = gnp(11, 0.25, &mut rng(seed));
             let m = maximum_matching(&g);
             assert!(m.is_valid_for(&g));
-            assert_eq!(m.len(), brute_force_maximum_matching_size(&g), "seed {seed}");
+            assert_eq!(
+                m.len(),
+                brute_force_maximum_matching_size(&g),
+                "seed {seed}"
+            );
         }
     }
 

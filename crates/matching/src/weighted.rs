@@ -121,13 +121,7 @@ pub fn crouch_stubbs_maximum(g: &WeightedGraph) -> WeightedMatching {
 /// Exhaustive maximum-weight matching for tiny graphs (`m <= ~20`), used only
 /// to cross-check the approximation algorithms in tests.
 pub fn brute_force_maximum_weight(g: &WeightedGraph) -> f64 {
-    fn recurse(
-        g: &WeightedGraph,
-        idx: usize,
-        used: &mut Vec<bool>,
-        weight: f64,
-        best: &mut f64,
-    ) {
+    fn recurse(g: &WeightedGraph, idx: usize, used: &mut Vec<bool>, weight: f64, best: &mut f64) {
         *best = best.max(weight);
         if idx == g.m() {
             return;
@@ -182,7 +176,8 @@ mod tests {
     #[test]
     fn greedy_picks_the_heavy_edge() {
         // Path with a heavy middle edge: greedy takes the middle edge only.
-        let g = WeightedGraph::from_triples(4, vec![(0, 1, 1.0), (1, 2, 10.0), (2, 3, 1.0)]).unwrap();
+        let g =
+            WeightedGraph::from_triples(4, vec![(0, 1, 1.0), (1, 2, 10.0), (2, 3, 1.0)]).unwrap();
         let m = greedy_weighted_matching(&g);
         assert!(m.is_valid_for(&g));
         assert_eq!(m.total_weight, 10.0);
@@ -225,7 +220,8 @@ mod tests {
 
     #[test]
     fn crouch_stubbs_on_uniform_weights_reduces_to_unweighted() {
-        let g = WeightedGraph::from_triples(6, vec![(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]).unwrap();
+        let g =
+            WeightedGraph::from_triples(6, vec![(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]).unwrap();
         let cs = crouch_stubbs_maximum(&g);
         assert_eq!(cs.len(), 3);
         assert!((cs.total_weight - 3.0).abs() < 1e-9);
@@ -242,11 +238,20 @@ mod tests {
     #[test]
     fn weighted_matching_validation_catches_errors() {
         let g = WeightedGraph::from_triples(4, vec![(0, 1, 2.0), (2, 3, 3.0)]).unwrap();
-        let ok = WeightedMatching { edges: vec![Edge::new(0, 1)], total_weight: 2.0 };
+        let ok = WeightedMatching {
+            edges: vec![Edge::new(0, 1)],
+            total_weight: 2.0,
+        };
         assert!(ok.is_valid_for(&g));
-        let wrong_weight = WeightedMatching { edges: vec![Edge::new(0, 1)], total_weight: 5.0 };
+        let wrong_weight = WeightedMatching {
+            edges: vec![Edge::new(0, 1)],
+            total_weight: 5.0,
+        };
         assert!(!wrong_weight.is_valid_for(&g));
-        let missing_edge = WeightedMatching { edges: vec![Edge::new(0, 2)], total_weight: 0.0 };
+        let missing_edge = WeightedMatching {
+            edges: vec![Edge::new(0, 2)],
+            total_weight: 0.0,
+        };
         assert!(!missing_edge.is_valid_for(&g));
         let overlapping = WeightedMatching {
             edges: vec![Edge::new(0, 1), Edge::new(1, 2)],

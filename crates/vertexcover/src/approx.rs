@@ -41,7 +41,9 @@ pub fn greedy_degree_cover(g: &Graph) -> VertexCover {
 
     let mut cover = VertexCover::new();
     while uncovered_edges > 0 {
-        let (claimed_degree, v) = heap.pop().expect("uncovered edges remain so the heap is non-empty");
+        let (claimed_degree, v) = heap
+            .pop()
+            .expect("uncovered edges remain so the heap is non-empty");
         if covered[v as usize] || claimed_degree != remaining_degree[v as usize] {
             continue; // stale entry
         }
@@ -94,7 +96,12 @@ mod tests {
             let approx = two_approx_cover(&g);
             let opt = exact_cover_branch_and_bound(&g);
             assert!(approx.covers(&g));
-            assert!(approx.len() <= 2 * opt.len().max(1), "approx {} opt {}", approx.len(), opt.len());
+            assert!(
+                approx.len() <= 2 * opt.len().max(1),
+                "approx {} opt {}",
+                approx.len(),
+                opt.len()
+            );
         }
     }
 

@@ -12,12 +12,16 @@ pub struct VertexCover {
 impl VertexCover {
     /// The empty vertex set.
     pub fn new() -> Self {
-        VertexCover { vertices: HashSet::new() }
+        VertexCover {
+            vertices: HashSet::new(),
+        }
     }
 
     /// Builds a cover from an iterator of vertices (duplicates are merged).
     pub fn from_vertices<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
-        VertexCover { vertices: iter.into_iter().collect() }
+        VertexCover {
+            vertices: iter.into_iter().collect(),
+        }
     }
 
     /// Number of vertices in the cover.
@@ -59,7 +63,9 @@ impl VertexCover {
 
     /// Checks that every edge of `g` has at least one endpoint in the cover.
     pub fn covers(&self, g: &Graph) -> bool {
-        g.edges().iter().all(|e| self.vertices.contains(&e.u) || self.vertices.contains(&e.v))
+        g.edges()
+            .iter()
+            .all(|e| self.vertices.contains(&e.u) || self.vertices.contains(&e.v))
     }
 
     /// Returns the edges of `g` *not* covered (useful in failure diagnostics

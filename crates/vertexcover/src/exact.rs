@@ -24,8 +24,9 @@ use std::collections::VecDeque;
 pub fn exact_cover_branch_and_bound(g: &Graph) -> VertexCover {
     // Work on adjacency sets that we can edit.
     let adj = g.adjacency();
-    let mut neighbors: Vec<Vec<VertexId>> =
-        (0..g.n() as VertexId).map(|v| adj.neighbors(v).to_vec()).collect();
+    let mut neighbors: Vec<Vec<VertexId>> = (0..g.n() as VertexId)
+        .map(|v| adj.neighbors(v).to_vec())
+        .collect();
     let mut best: Option<Vec<VertexId>> = None;
     let mut current: Vec<VertexId> = Vec::new();
     branch(&mut neighbors, &mut current, &mut best);
@@ -78,7 +79,9 @@ fn branch(
     }
 
     // Find a maximum-degree vertex to branch on.
-    let pivot = (0..neighbors.len()).max_by_key(|&v| neighbors[v].len()).filter(|&v| !neighbors[v].is_empty());
+    let pivot = (0..neighbors.len())
+        .max_by_key(|&v| neighbors[v].len())
+        .filter(|&v| !neighbors[v].is_empty());
 
     match pivot {
         None => {
@@ -134,7 +137,11 @@ fn take_vertex(neighbors: &mut [Vec<VertexId>], v: VertexId) -> Vec<(VertexId, V
     removed
 }
 
-fn undo_take(neighbors: &mut [Vec<VertexId>], v: VertexId, removed: Vec<(VertexId, Vec<VertexId>)>) {
+fn undo_take(
+    neighbors: &mut [Vec<VertexId>],
+    v: VertexId,
+    removed: Vec<(VertexId, Vec<VertexId>)>,
+) {
     for (w, old) in removed {
         if w == v {
             neighbors[v as usize] = old;
@@ -261,7 +268,11 @@ mod tests {
             let bg = random_bipartite(25, 25, 0.1, &mut rng(seed + 20));
             let cover = koenig_cover(&bg);
             let mm = hopcroft_karp_size(&bg);
-            assert_eq!(cover.len(), mm, "König: |min VC| must equal |max matching| (seed {seed})");
+            assert_eq!(
+                cover.len(),
+                mm,
+                "König: |min VC| must equal |max matching| (seed {seed})"
+            );
             assert!(cover.covers(&bg.to_graph()), "seed {seed}");
         }
     }

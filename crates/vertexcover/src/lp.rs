@@ -49,10 +49,7 @@ impl HalfIntegralSolution {
 pub fn lp_vertex_cover(g: &Graph) -> HalfIntegralSolution {
     let n = g.n();
     // Double cover: left copy and right copy of every vertex.
-    let pairs = g
-        .edges()
-        .iter()
-        .flat_map(|e| [(e.u, e.v), (e.v, e.u)]);
+    let pairs = g.edges().iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]);
     let double = BipartiteGraph::from_pairs(n, n, pairs)
         .expect("double-cover ids are in range by construction");
     let cover = crate::exact::koenig_cover(&double);
@@ -60,7 +57,11 @@ pub fn lp_vertex_cover(g: &Graph) -> HalfIntegralSolution {
     let mut values = vec![0.0f64; n];
     for v in cover.vertices() {
         // Vertices 0..n are left copies, n..2n are right copies.
-        let original = if (v as usize) < n { v as usize } else { v as usize - n };
+        let original = if (v as usize) < n {
+            v as usize
+        } else {
+            v as usize - n
+        };
         values[original] += 0.5;
     }
     HalfIntegralSolution { values }
@@ -86,7 +87,10 @@ mod tests {
             let g = gnp(40, 0.1, &mut rng(seed));
             let sol = lp_vertex_cover(&g);
             for &x in &sol.values {
-                assert!(x == 0.0 || x == 0.5 || x == 1.0, "value {x} is not half-integral");
+                assert!(
+                    x == 0.0 || x == 0.5 || x == 1.0,
+                    "value {x} is not half-integral"
+                );
             }
             // LP feasibility: x_u + x_v >= 1 for every edge.
             for e in g.edges() {
@@ -108,8 +112,14 @@ mod tests {
             let lp = sol.objective();
             let mm = maximum_matching(&g).len() as f64;
             let opt = exact_cover_branch_and_bound(&g).len() as f64;
-            assert!(lp >= mm - 1e-9, "LP ({lp}) must dominate the matching bound ({mm})");
-            assert!(lp <= opt + 1e-9, "LP ({lp}) cannot exceed the integral optimum ({opt})");
+            assert!(
+                lp >= mm - 1e-9,
+                "LP ({lp}) must dominate the matching bound ({mm})"
+            );
+            assert!(
+                lp <= opt + 1e-9,
+                "LP ({lp}) cannot exceed the integral optimum ({opt})"
+            );
             let rounded = sol.rounded_cover();
             assert!(rounded.len() as f64 <= 2.0 * opt + 1e-9);
         }

@@ -64,7 +64,11 @@ pub fn peel_with_thresholds(g: &Graph, thresholds: &[usize]) -> PeelingOutcome {
         used_thresholds.push(t);
     }
 
-    PeelingOutcome { peeled_per_round, thresholds: used_thresholds, residual: current }
+    PeelingOutcome {
+        peeled_per_round,
+        thresholds: used_thresholds,
+        residual: current,
+    }
 }
 
 /// The classic Parnas–Ron schedule on a single graph: thresholds
@@ -113,7 +117,10 @@ mod tests {
             let mut cover = outcome.peeled_cover();
             let residual_cover = two_approx_cover(&outcome.residual);
             cover.extend_from(&residual_cover);
-            assert!(cover.covers(&g), "seed {seed}: peeled + residual 2-approx must cover");
+            assert!(
+                cover.covers(&g),
+                "seed {seed}: peeled + residual 2-approx must cover"
+            );
         }
     }
 

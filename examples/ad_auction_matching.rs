@@ -23,11 +23,19 @@ fn main() {
     let (bg, _) = planted_matching_bipartite(advertisers, 0.0004, &mut rng);
     let g = bg.to_graph();
     let opt = maximum_matching(&g).len();
-    println!("ad exchange graph: {} advertisers, {} impressions, {} compatible pairs", advertisers, advertisers, g.m());
+    println!(
+        "ad exchange graph: {} advertisers, {} impressions, {} compatible pairs",
+        advertisers,
+        advertisers,
+        g.m()
+    );
     println!("maximum assignment size (centralised): {opt}\n");
 
     let k = 32; // ingestion servers
-    println!("{:<28} {:>10} {:>12} {:>14}", "protocol", "matched", "ratio", "words sent");
+    println!(
+        "{:<28} {:>10} {:>12} {:>14}",
+        "protocol", "matched", "ratio", "words sent"
+    );
     for (label, report) in [
         (
             "exact coreset (Thm 1)",

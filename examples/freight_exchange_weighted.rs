@@ -8,7 +8,9 @@
 //!
 //! Run with `cargo run --release --example freight_exchange_weighted`.
 
-use coresets::weighted::{compose_weighted_matching, WeightedCoresetOutput, WeightedMatchingCoreset};
+use coresets::weighted::{
+    compose_weighted_matching, WeightedCoresetOutput, WeightedMatchingCoreset,
+};
 use graph::partition::{partition_weighted, PartitionStrategy};
 use graph::WeightedGraph;
 use matching::weighted::greedy_weighted_matching;
@@ -40,16 +42,24 @@ fn main() {
     // Centralised baseline: greedy weighted matching over the whole market
     // (a 1/2-approximation of the optimum).
     let baseline = greedy_weighted_matching(&market);
-    println!("\ncentralised greedy baseline: {} assignments, value {:.0}", baseline.len(), baseline.total_weight);
+    println!(
+        "\ncentralised greedy baseline: {} assignments, value {:.0}",
+        baseline.len(),
+        baseline.total_weight
+    );
 
     // Distributed: each regional broker builds a Crouch–Stubbs coreset.
-    println!("\n{:>4}  {:>12}  {:>12}  {:>16}  {:>14}", "k", "assignments", "value", "value / baseline", "edges shipped");
+    println!(
+        "\n{:>4}  {:>12}  {:>12}  {:>16}  {:>14}",
+        "k", "assignments", "value", "value / baseline", "edges shipped"
+    );
     for k in [4usize, 8, 16, 32] {
         let mut part_rng = ChaCha8Rng::seed_from_u64(1000 + k as u64);
         let pieces = partition_weighted(&market, k, PartitionStrategy::Random, &mut part_rng)
             .expect("k >= 1");
         let builder = WeightedMatchingCoreset::default();
-        let coresets: Vec<WeightedCoresetOutput> = pieces.iter().map(|p| builder.build(p)).collect();
+        let coresets: Vec<WeightedCoresetOutput> =
+            pieces.iter().map(|p| builder.build(p)).collect();
         let shipped: usize = coresets.iter().map(WeightedCoresetOutput::size).sum();
         let composed = compose_weighted_matching(n, &coresets);
         assert!(composed.is_valid_for(&market));

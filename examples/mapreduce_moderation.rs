@@ -22,11 +22,19 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let g = chung_lu(n, 2.3, 10.0, &mut rng);
     let lower_bound = maximum_matching(&g).len(); // |max matching| <= |min VC|
-    println!("interaction graph: n = {}, m = {}, OPT >= {}", g.n(), g.m(), lower_bound);
+    println!(
+        "interaction graph: n = {}, m = {}, OPT >= {}",
+        g.n(),
+        g.m(),
+        lower_bound
+    );
 
     // The paper's MapReduce deployment: sqrt(n) machines, ~n*sqrt(n) memory.
     let cfg = MapReduceConfig::paper_defaults(n);
-    println!("\ncluster: k = {} machines, {} words of memory each", cfg.k, cfg.memory_words);
+    println!(
+        "\ncluster: k = {} machines, {} words of memory each",
+        cfg.k, cfg.memory_words
+    );
 
     let outcome = MapReduceSimulator::new(cfg)
         .run_vertex_cover(&g, &PeelingVcCoreset::new(), 5)
@@ -36,7 +44,10 @@ fn main() {
     println!("rounds:               {}", outcome.round_count());
     println!("within memory budget: {}", outcome.within_memory_budget);
     println!("moderation set size:  {}", outcome.answer.len());
-    println!("size / lower bound:   {:.3}", outcome.answer.len() as f64 / lower_bound as f64);
+    println!(
+        "size / lower bound:   {:.3}",
+        outcome.answer.len() as f64 / lower_bound as f64
+    );
 
     // Baseline: filtering [46] — better approximation, more rounds.
     let (cover, filt) = filtering_vertex_cover(&g, (cfg.memory_words / 2) as usize, 5);
@@ -44,9 +55,16 @@ fn main() {
     println!("\n-- filtering baseline (Lattanzi et al.) --");
     println!("rounds:               {}", filt.rounds);
     println!("moderation set size:  {}", cover.len());
-    println!("size / lower bound:   {:.3}", cover.len() as f64 / lower_bound as f64);
+    println!(
+        "size / lower bound:   {:.3}",
+        cover.len() as f64 / lower_bound as f64
+    );
 
-    println!("\nThe coreset algorithm finishes in {} round(s); filtering needs {}.", outcome.round_count(), filt.rounds);
+    println!(
+        "\nThe coreset algorithm finishes in {} round(s); filtering needs {}.",
+        outcome.round_count(),
+        filt.rounds
+    );
     println!("Filtering's set is smaller (2-approximation) — the paper trades approximation");
     println!("for round-optimality, which is usually the binding constraint in MapReduce.");
 }

@@ -27,7 +27,10 @@ fn main() {
     println!("\n-- maximum matching --");
     println!("optimum (whole graph):        {opt}");
     println!("coreset composition:          {}", result.matching.len());
-    println!("approximation ratio:          {:.3}", opt as f64 / result.matching.len() as f64);
+    println!(
+        "approximation ratio:          {:.3}",
+        opt as f64 / result.matching.len() as f64
+    );
     println!(
         "communication (edges total):  {} (~{:.2} per vertex per machine)",
         result.total_coreset_size(),
@@ -41,7 +44,13 @@ fn main() {
     println!("\n-- minimum vertex cover --");
     println!("matching lower bound on OPT:  {opt}");
     println!("coreset composition:          {}", result.cover.len());
-    println!("ratio vs lower bound:         {:.3}", result.cover.len() as f64 / opt as f64);
-    println!("total coreset size:           {}", result.total_coreset_size());
+    println!(
+        "ratio vs lower bound:         {:.3}",
+        result.cover.len() as f64 / opt as f64
+    );
+    println!(
+        "total coreset size:           {}",
+        result.total_coreset_size()
+    );
     println!("\n(the paper proves O(1) and O(log n) approximation respectively, w.h.p.)");
 }

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: the full pipelines of the paper, end to end.
 
-use coresets::{DistributedMatching, DistributedVertexCover};
 use coresets::matching_coreset::MaximumMatchingCoreset;
 use coresets::vc_coreset::PeelingVcCoreset;
+use coresets::{DistributedMatching, DistributedVertexCover};
 use distsim::coordinator::CoordinatorProtocol;
 use distsim::mapreduce::{MapReduceConfig, MapReduceSimulator};
 use distsim::protocols::filtering::filtering_matching;
@@ -51,7 +51,9 @@ fn theorem2_cover_is_feasible_and_reasonably_small() {
         let lb = maximum_matching(&g).len().max(1);
         let log_n = (g.n() as f64).log2();
         for k in [3usize, 8] {
-            let result = DistributedVertexCover::new(k).run(&g, 200 + w as u64).unwrap();
+            let result = DistributedVertexCover::new(k)
+                .run(&g, 200 + w as u64)
+                .unwrap();
             assert!(result.cover.covers(&g));
             // |min VC| <= 2 * |max matching|, so cover / lb <= 2 * true ratio;
             // allow the full O(log n) slack with a constant of 4.
@@ -73,9 +75,14 @@ fn coreset_quality_is_algorithm_agnostic() {
     let g = planted_matching_bipartite(600, 0.002, &mut r).0.to_graph();
     let opt = maximum_matching(&g).len();
     let k = 6;
-    for algorithm in [MaximumMatchingAlgorithm::HopcroftKarp, MaximumMatchingAlgorithm::Blossom] {
+    for algorithm in [
+        MaximumMatchingAlgorithm::HopcroftKarp,
+        MaximumMatchingAlgorithm::Blossom,
+    ] {
         let builder = MaximumMatchingCoreset::with_algorithm(algorithm);
-        let result = DistributedMatching::with_builder(k, builder).run(&g, 77).unwrap();
+        let result = DistributedMatching::with_builder(k, builder)
+            .run(&g, 77)
+            .unwrap();
         assert!(result.matching.is_valid_for(&g));
         assert!(9 * result.matching.len() >= opt, "{algorithm:?}");
     }

@@ -47,7 +47,9 @@ fn capped_coresets_degrade_on_d_matching() {
 
     let uncapped = DistributedMatching::new(k).run(&g, 5).unwrap();
     let tiny_cap = ((n as f64 / (alpha * alpha)) as usize / 8).max(1);
-    let capped = DistributedMatching::with_builder(k, Capped { cap: tiny_cap }).run(&g, 5).unwrap();
+    let capped = DistributedMatching::with_builder(k, Capped { cap: tiny_cap })
+        .run(&g, 5)
+        .unwrap();
 
     assert!(uncapped.matching.is_valid_for(&g));
     assert!(capped.matching.is_valid_for(&g));
@@ -107,7 +109,10 @@ fn capped_coresets_miss_the_hidden_edge_on_d_vc() {
         // The uncapped composition must be a feasible cover of the whole graph.
         assert!(full_cover.covers(&g), "trial {t}");
     }
-    assert_eq!(covered_uncapped, trials, "the uncapped coreset never misses e*");
+    assert_eq!(
+        covered_uncapped, trials,
+        "the uncapped coreset never misses e*"
+    );
     assert!(
         covered_capped < trials,
         "a coreset capped 20x below n/alpha should miss e* at least once in {trials} trials"
@@ -124,12 +129,20 @@ fn trap_instance_separates_maximal_from_maximum() {
         let inst = maximal_matching_trap(n, 1.0 / k as f64).unwrap();
         let avoid = AvoidingMaximalMatchingCoreset::new(inst.planted_matching.iter().copied());
         let good = DistributedMatching::new(k).run(&inst.graph, 9).unwrap();
-        let bad = DistributedMatching::with_builder(k, avoid).run(&inst.graph, 9).unwrap();
+        let bad = DistributedMatching::with_builder(k, avoid)
+            .run(&inst.graph, 9)
+            .unwrap();
         let opt = inst.matching_lower_bound() as f64;
         let good_ratio = opt / good.matching.len().max(1) as f64;
         let bad_ratio = opt / bad.matching.len().max(1) as f64;
-        assert!(good_ratio <= 1.5, "k={k}: maximum-coreset ratio {good_ratio}");
-        assert!(bad_ratio >= 2.0, "k={k}: adversarial ratio should be large, got {bad_ratio}");
+        assert!(
+            good_ratio <= 1.5,
+            "k={k}: maximum-coreset ratio {good_ratio}"
+        );
+        assert!(
+            bad_ratio >= 2.0,
+            "k={k}: adversarial ratio should be large, got {bad_ratio}"
+        );
         assert!(
             bad_ratio > previous_bad_ratio,
             "adversarial ratio should grow with k ({bad_ratio} after {previous_bad_ratio})"
@@ -152,6 +165,11 @@ fn hard_distributions_have_the_documented_structure() {
     assert_eq!(inst.a.len(), 400);
     assert_eq!(inst.vc_upper_bound(), 401);
     // e* exists and is the only edge on v*.
-    let v_star_edges = inst.graph.edges().iter().filter(|(l, _)| *l == inst.v_star).count();
+    let v_star_edges = inst
+        .graph
+        .edges()
+        .iter()
+        .filter(|(l, _)| *l == inst.v_star)
+        .count();
     assert_eq!(v_star_edges, 1);
 }

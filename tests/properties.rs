@@ -14,8 +14,8 @@ use matching::maximum::{maximum_matching, MaximumMatchingAlgorithm};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use vertexcover::exact::{exact_cover_branch_and_bound, koenig_cover};
 use vertexcover::approx::two_approx_cover;
+use vertexcover::exact::{exact_cover_branch_and_bound, koenig_cover};
 
 /// Strategy: a random simple graph with up to `max_n` vertices and a
 /// density-controlled number of random edges.

@@ -40,7 +40,10 @@ fn coresets_on_grid_graph() {
 
     let c = DistributedVertexCover::new(8).run(&g, 23).unwrap();
     assert!(c.cover.covers(&g));
-    assert!(c.cover.len() >= opt, "weak duality: any cover is at least the matching size");
+    assert!(
+        c.cover.len() >= opt,
+        "weak duality: any cover is at least the matching size"
+    );
 }
 
 #[test]
@@ -53,7 +56,10 @@ fn lp_bound_tightens_the_vertex_cover_reference() {
     let cover = DistributedVertexCover::new(6).run(&g, 3).unwrap();
     assert!(cover.cover.covers(&g));
     assert!(lp >= mm - 1e-9);
-    assert!(cover.cover.len() as f64 >= lp - 1e-9, "LP is a genuine lower bound on any cover");
+    assert!(
+        cover.cover.len() as f64 >= lp - 1e-9,
+        "LP is a genuine lower bound on any cover"
+    );
     // The measured ratio against the LP bound stays comfortably below log2 n.
     let ratio = cover.cover.len() as f64 / lp.max(1.0);
     assert!(ratio <= (g.n() as f64).log2(), "ratio {ratio} vs log2(n)");

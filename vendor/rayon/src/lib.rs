@@ -1,0 +1,83 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` returns the corresponding **sequential** std iterator, so all
+//! downstream adapters (`map`, `enumerate`, `collect`, …) work unchanged and
+//! results are bit-identical to a rayon run with one worker thread. The
+//! simulators in this workspace only rely on `par_iter` for throughput, never
+//! for semantics, so a sequential drop-in preserves correctness; swapping the
+//! real rayon back in is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits rayon users import as a blanket `use rayon::prelude::*;`.
+pub mod prelude {
+    /// Mirror of rayon's `IntoParallelRefIterator`, yielding `&T` items.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced by [`Self::par_iter`].
+        type Iter: Iterator;
+
+        /// Returns a "parallel" iterator over references — sequentially
+        /// ordered in this vendored stub.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Mirror of rayon's `IntoParallelIterator` for owned collections.
+    pub trait IntoParallelIterator {
+        /// The iterator produced by [`Self::into_par_iter`].
+        type Iter: Iterator;
+
+        /// Consumes the collection into a "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential_map() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+}

@@ -1,0 +1,266 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (any field types that implement the stub's
+//!   `Serialize`/`Deserialize` traits), and
+//! * fieldless ("C-like") enums, serialized as their variant name.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream —
+//! `syn`/`quote` are not available offline. Unsupported shapes (tuple
+//! structs, generic types, data-carrying enums) produce a compile error
+//! naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemShape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum whose variants all carry no data.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips `#[...]` attributes (including doc comments) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<ItemShape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive serde for a `{kind}` item"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected an item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+            "expected a braced body for `{name}` (tuple/unit items unsupported), found {other:?}"
+        ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    if kind == "struct" {
+        Ok(ItemShape::Struct {
+            name,
+            fields: parse_named_fields(&body)?,
+        })
+    } else {
+        Ok(ItemShape::Enum {
+            name,
+            variants: parse_unit_variants(&body)?,
+        })
+    }
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_vis(body, skip_attrs(body, i));
+        if i >= body.len() {
+            break;
+        }
+        let field = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                "expected `:` after field `{field}` (tuple structs unsupported), found {other:?}"
+            ))
+            }
+        }
+        // Consume the type: everything until a `,` at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let variant = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "variant `{variant}` carries data or a discriminant ({other:?}); \
+                     the vendored serde derive only supports fieldless enums"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!(
+        "compile_error!({:?});",
+        format!("serde_derive (vendored): {msg}")
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_item(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        ItemShape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        ItemShape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_item(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        ItemShape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        ItemShape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v.as_str() {{\n\
+                             ::std::option::Option::Some(__s) => match __s {{\n\
+                                 {arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                             }},\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"a variant string\", __v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
