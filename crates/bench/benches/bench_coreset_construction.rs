@@ -24,7 +24,14 @@ fn bench_matching_coreset(c: &mut Criterion) {
     for n in [10_000usize, 40_000] {
         let (piece, params) = one_piece(n, 8);
         group.bench_with_input(BenchmarkId::from_parameter(n), &piece, |b, piece| {
-            b.iter(|| black_box(MaximumMatchingCoreset::new().build(piece, &params, 0).m()));
+            b.iter(|| {
+                let mut rng = coresets::machine_rng(7, 0);
+                black_box(
+                    MaximumMatchingCoreset::new()
+                        .build(piece, &params, 0, &mut rng)
+                        .m(),
+                )
+            });
         });
     }
     group.finish();
@@ -35,7 +42,14 @@ fn bench_vc_coreset(c: &mut Criterion) {
     for n in [10_000usize, 40_000] {
         let (piece, params) = one_piece(n, 8);
         group.bench_with_input(BenchmarkId::from_parameter(n), &piece, |b, piece| {
-            b.iter(|| black_box(PeelingVcCoreset::new().build(piece, &params, 0).size()));
+            b.iter(|| {
+                let mut rng = coresets::machine_rng(7, 0);
+                black_box(
+                    PeelingVcCoreset::new()
+                        .build(piece, &params, 0, &mut rng)
+                        .size(),
+                )
+            });
         });
     }
     group.finish();

@@ -37,7 +37,10 @@ fn main() {
         .pieces()
         .iter()
         .enumerate()
-        .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+        .map(|(i, p)| {
+            let mut mrng = coresets::machine_rng(trial_seed(EXP_ID, 0), i);
+            MaximumMatchingCoreset::new().build(p, &params, i, &mut mrng)
+        })
         .collect();
     let (final_matching, trace) = greedy_match(g.n(), &coresets);
     assert!(final_matching.is_valid_for(&g));

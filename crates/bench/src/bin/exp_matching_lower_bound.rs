@@ -6,34 +6,13 @@
 
 use bench::table::fmt_f;
 use bench::{trial_seed, Summary, Table};
-use coresets::capped::cap_matching_coreset;
-use coresets::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
-use coresets::{CoresetParams, DistributedMatching};
+use coresets::{CappedMatchingCoreset, DistributedMatching};
 use graph::gen::hard::d_matching;
-use graph::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 const EXP_ID: u64 = 5;
 const TRIALS: u64 = 3;
-
-/// A maximum-matching coreset truncated to at most `cap` edges per machine.
-#[derive(Clone, Copy)]
-struct CappedCoreset {
-    cap: usize,
-}
-
-impl MatchingCoresetBuilder for CappedCoreset {
-    fn build(&self, piece: &Graph, params: &CoresetParams, machine: usize) -> Graph {
-        let full = MaximumMatchingCoreset::new().build(piece, params, machine);
-        let mut rng = ChaCha8Rng::seed_from_u64(0xCA9 ^ machine as u64);
-        cap_matching_coreset(&full, self.cap, &mut rng)
-    }
-
-    fn name(&self) -> &'static str {
-        "capped-maximum-matching"
-    }
-}
 
 fn main() {
     println!("# E5 — coreset-size lower bound for matching (Theorem 3)\n");
@@ -82,10 +61,9 @@ fn main() {
                 let g = inst.graph.to_graph();
                 let opt_lb = inst.matching_lower_bound(); // ~ n - n/alpha
 
-                let capped =
-                    DistributedMatching::with_builder(k, CappedCoreset { cap: cap.max(1) })
-                        .run(&g, seed)
-                        .expect("k >= 1");
+                let capped = DistributedMatching::with_builder(k, CappedMatchingCoreset::new(cap))
+                    .run(&g, seed)
+                    .expect("k >= 1");
                 let uncapped = DistributedMatching::new(k).run(&g, seed).expect("k >= 1");
                 ratios.push(opt_lb as f64 / capped.matching.len().max(1) as f64);
                 sizes.push(capped.matching.len() as f64);

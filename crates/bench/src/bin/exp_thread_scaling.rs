@@ -1,0 +1,267 @@
+//! Thread-scaling benchmark for the end-to-end protocols: the same
+//! coordinator and MapReduce runs, timed under 1 worker thread and under all
+//! available cores (plus an intermediate point), on G(n,p) and on the paper's
+//! hard distributions.
+//!
+//! Emits a machine-readable `BENCH_protocols.json` in the working directory —
+//! the perf trajectory record for CI — and prints a human-readable table.
+//! Every timed run is also checked to produce a thread-count-independent
+//! answer, so the speedup numbers can never come from silently diverging
+//! work.
+//!
+//! Regenerate with `cargo run --release -p bench --bin exp_thread_scaling`.
+
+use bench::table::fmt_f;
+use bench::{Summary, Table};
+use coresets::matching_coreset::MaximumMatchingCoreset;
+use coresets::vc_coreset::PeelingVcCoreset;
+use distsim::coordinator::CoordinatorProtocol;
+use distsim::mapreduce::{MapReduceConfig, MapReduceSimulator};
+use graph::gen::er::gnp;
+use graph::gen::hard::{d_matching, d_vc};
+use graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::ThreadPoolBuilder;
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 2017;
+const K: usize = 8;
+const REPS: usize = 5;
+
+/// One (protocol, workload, thread-count) measurement.
+#[derive(Debug, Serialize)]
+struct ThreadSample {
+    /// Worker threads the machines were scheduled onto.
+    threads: usize,
+    /// Median wall-clock seconds per protocol run over all repetitions.
+    median_secs: f64,
+    /// `median_secs(1 thread) / median_secs(this)` — >1 means faster.
+    speedup_vs_1_thread: f64,
+}
+
+/// All measurements of one protocol on one workload.
+#[derive(Debug, Serialize)]
+struct ProtocolBench {
+    protocol: String,
+    workload: String,
+    n: usize,
+    m: usize,
+    k: usize,
+    /// Size of the protocol's answer (matching edges / cover vertices),
+    /// identical across thread counts by the determinism guarantee.
+    answer_size: usize,
+    samples: Vec<ThreadSample>,
+}
+
+/// The whole `BENCH_protocols.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// What `std::thread::available_parallelism` reported on the bench host.
+    host_available_parallelism: usize,
+    thread_counts: Vec<usize>,
+    reps_per_sample: usize,
+    seed: u64,
+    protocols: Vec<ProtocolBench>,
+}
+
+/// Times `run` under `threads` workers: one warm-up, then `REPS` timed
+/// repetitions; returns the median seconds and the (checked-identical)
+/// answer size.
+fn time_under_threads(threads: usize, run: &dyn Fn() -> usize) -> (f64, usize) {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("vendored pool builder is infallible")
+        .install(|| {
+            let answer = run();
+            let mut secs = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let again = run();
+                secs.push(start.elapsed().as_secs_f64());
+                assert_eq!(again, answer, "protocol answer must not depend on timing");
+            }
+            (Summary::of(&secs).median, answer)
+        })
+}
+
+fn bench_protocol(
+    protocol: &str,
+    workload: &str,
+    g: &Graph,
+    k: usize,
+    thread_counts: &[usize],
+    run: &dyn Fn() -> usize,
+) -> ProtocolBench {
+    let mut samples = Vec::new();
+    let mut baseline = f64::NAN;
+    let mut answer_size = None;
+    for &threads in thread_counts {
+        let (median_secs, answer) = time_under_threads(threads, run);
+        if threads == thread_counts[0] {
+            baseline = median_secs;
+        }
+        // The determinism guarantee, enforced: every thread count must give
+        // the same answer, or the recorded speedups compare different work.
+        match answer_size {
+            None => answer_size = Some(answer),
+            Some(expected) => assert_eq!(
+                answer, expected,
+                "{protocol} on {workload}: answer diverged at {threads} threads"
+            ),
+        }
+        samples.push(ThreadSample {
+            threads,
+            median_secs,
+            speedup_vs_1_thread: baseline / median_secs.max(f64::MIN_POSITIVE),
+        });
+    }
+    let answer_size = answer_size.expect("at least one thread count is benchmarked");
+    ProtocolBench {
+        protocol: protocol.to_string(),
+        workload: workload.to_string(),
+        n: g.n(),
+        m: g.m(),
+        k,
+        answer_size,
+        samples,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, cores];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    println!("# Thread-scaling of the coordinator and MapReduce protocols\n");
+    println!("Host cores: {cores}; thread counts: {thread_counts:?}; k = {K} machines;");
+    println!("{REPS} timed reps per point (median reported). Answers are asserted");
+    println!("identical across thread counts before any timing is recorded.\n");
+
+    // Workloads: the random-graph regime and the paper's hard distributions.
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let gnp_graph = gnp(20_000, 8.0 / 20_000.0, &mut rng);
+    let dm = d_matching(8_000, 4.0, K, &mut rng).expect("valid D_Matching parameters");
+    let dm_graph = dm.graph.to_graph();
+    let dv = d_vc(8_000, 8.0, K, &mut rng).expect("valid D_VC parameters");
+    let dv_graph = dv.graph.to_graph();
+
+    let mut protocols: Vec<ProtocolBench> = Vec::new();
+    for (workload, g) in [
+        ("gnp(20000, 8/n)", &gnp_graph),
+        ("d_matching(8000, alpha=4)", &dm_graph),
+    ] {
+        protocols.push(bench_protocol(
+            "coordinator/matching",
+            workload,
+            g,
+            K,
+            &thread_counts,
+            &|| {
+                CoordinatorProtocol::random(K)
+                    .run_matching(g, &MaximumMatchingCoreset::new(), SEED)
+                    .expect("k >= 1")
+                    .answer
+                    .len()
+            },
+        ));
+        protocols.push(bench_protocol(
+            "mapreduce/matching",
+            workload,
+            g,
+            K,
+            &thread_counts,
+            &|| {
+                let cfg = MapReduceConfig {
+                    k: K,
+                    memory_words: u64::MAX,
+                    input_already_random: false,
+                };
+                MapReduceSimulator::new(cfg)
+                    .run_matching(g, &MaximumMatchingCoreset::new(), SEED)
+                    .expect("k >= 1")
+                    .answer
+                    .len()
+            },
+        ));
+    }
+    for (workload, g) in [
+        ("gnp(20000, 8/n)", &gnp_graph),
+        ("d_vc(8000, alpha=8)", &dv_graph),
+    ] {
+        protocols.push(bench_protocol(
+            "coordinator/vertex-cover",
+            workload,
+            g,
+            K,
+            &thread_counts,
+            &|| {
+                CoordinatorProtocol::random(K)
+                    .run_vertex_cover(g, &PeelingVcCoreset::new(), SEED)
+                    .expect("k >= 1")
+                    .answer
+                    .len()
+            },
+        ));
+        protocols.push(bench_protocol(
+            "mapreduce/vertex-cover",
+            workload,
+            g,
+            K,
+            &thread_counts,
+            &|| {
+                let cfg = MapReduceConfig {
+                    k: K,
+                    memory_words: u64::MAX,
+                    input_already_random: false,
+                };
+                MapReduceSimulator::new(cfg)
+                    .run_vertex_cover(g, &PeelingVcCoreset::new(), SEED)
+                    .expect("k >= 1")
+                    .answer
+                    .len()
+            },
+        ));
+    }
+
+    let mut table = Table::new(
+        format!("Protocol wall-clock vs worker threads (k = {K} machines)"),
+        &[
+            "protocol",
+            "workload",
+            "threads",
+            "median secs",
+            "speedup vs 1",
+        ],
+    );
+    for p in &protocols {
+        for s in &p.samples {
+            table.add_row(vec![
+                p.protocol.clone(),
+                p.workload.clone(),
+                s.threads.to_string(),
+                format!("{:.4}", s.median_secs),
+                fmt_f(s.speedup_vs_1_thread),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let report = BenchReport {
+        host_available_parallelism: cores,
+        thread_counts,
+        reps_per_sample: REPS,
+        seed: SEED,
+        protocols,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_protocols.json", &json).expect("BENCH_protocols.json is writable");
+    println!("Wrote BENCH_protocols.json ({} bytes).", json.len());
+    println!("Expected shape: speedup ~1.0 on single-core hosts; approaching the core");
+    println!("count (>1.5x at 8 cores) once the per-machine coreset work dominates.");
+}

@@ -66,8 +66,9 @@ fn main() {
                     .iter()
                     .enumerate()
                     .map(|(i, piece)| {
-                        let full = PeelingVcCoreset::new().build(piece, &params, i);
-                        cap_vc_coreset(&full, cap, &mut rng)
+                        let mut mrng = coresets::machine_rng(seed, i);
+                        let full = PeelingVcCoreset::new().build(piece, &params, i, &mut mrng);
+                        cap_vc_coreset(&full, cap, &mut mrng)
                     })
                     .collect();
                 let cover = compose_vertex_cover(&outputs);

@@ -1,10 +1,13 @@
 //! Tiny statistics helpers for aggregating repeated trials.
 
-/// Mean / min / max / standard deviation of a sample.
+/// Mean / median / min / max / standard deviation of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Arithmetic mean.
     pub mean: f64,
+    /// Median (midpoint of the two central observations for even counts) —
+    /// the robust location estimate the wall-clock benchmarks report.
+    pub median: f64,
     /// Smallest observation.
     pub min: f64,
     /// Largest observation.
@@ -22,6 +25,7 @@ impl Summary {
         if values.is_empty() {
             return Summary {
                 mean: 0.0,
+                median: 0.0,
                 min: 0.0,
                 max: 0.0,
                 std_dev: 0.0,
@@ -33,8 +37,16 @@ impl Summary {
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
         Summary {
             mean,
+            median,
             min,
             max,
             std_dev: variance.sqrt(),
@@ -57,10 +69,18 @@ mod tests {
     fn summary_of_simple_sample() {
         let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert_eq!(s.count, 4);
         assert!((s.std_dev - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers_and_order() {
+        let s = Summary::of(&[100.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(Summary::of(&[5.0]).median, 5.0);
     }
 
     #[test]

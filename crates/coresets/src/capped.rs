@@ -9,10 +9,48 @@
 //! coreset would only add noise; the cap keeps the first `cap` items, which is
 //! equivalent for the symmetric hard distributions).
 
+use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
+use crate::params::CoresetParams;
 use crate::vc_coreset::VcCoresetOutput;
 use graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A maximum-matching coreset truncated to at most `cap` edges per machine —
+/// the builder the Theorem 3 lower-bound experiments (E5) and their
+/// regression tests share. The truncation keeps a uniformly random subset of
+/// the matching's edges, drawn from the machine's private stream.
+#[derive(Debug, Clone, Copy)]
+pub struct CappedMatchingCoreset {
+    /// Maximum number of edges each machine may send (at least 1).
+    pub cap: usize,
+}
+
+impl CappedMatchingCoreset {
+    /// Creates a capped builder; a cap of 0 is clamped to 1 so every machine
+    /// still sends something.
+    pub fn new(cap: usize) -> Self {
+        CappedMatchingCoreset { cap: cap.max(1) }
+    }
+}
+
+impl MatchingCoresetBuilder for CappedMatchingCoreset {
+    fn build(
+        &self,
+        piece: &Graph,
+        params: &CoresetParams,
+        machine: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Graph {
+        let full = MaximumMatchingCoreset::new().build(piece, params, machine, rng);
+        cap_matching_coreset(&full, self.cap, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "capped-maximum-matching"
+    }
+}
 
 /// Caps a matching coreset (a subgraph) at `cap` edges, keeping a uniformly
 /// random subset of its edges.

@@ -77,7 +77,14 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .map(|(i, p)| {
+                MaximumMatchingCoreset::new().build(
+                    p,
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(0, i),
+                )
+            })
             .collect();
         let composed = compose_matching(&coresets);
         assert!(composed.m() <= k * g.n() / 2, "coreset union is O(nk)");
@@ -97,7 +104,14 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .map(|(i, p)| {
+                MaximumMatchingCoreset::new().build(
+                    p,
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(0, i),
+                )
+            })
             .collect();
         let m = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
         assert!(m.is_valid_for(&g));
@@ -122,7 +136,9 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i))
+            .map(|(i, p)| {
+                PeelingVcCoreset::new().build(p, &params, i, &mut crate::streams::machine_rng(0, i))
+            })
             .collect();
         let cover = compose_vertex_cover(&outputs);
         assert!(cover.covers(&g));

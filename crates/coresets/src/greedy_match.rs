@@ -82,7 +82,14 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .map(|(i, p)| {
+                MaximumMatchingCoreset::new().build(
+                    p,
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(0, i),
+                )
+            })
             .collect();
         let (m, trace) = greedy_match(g.n(), &coresets);
         assert!(m.is_valid_for(&g));
@@ -109,7 +116,14 @@ mod tests {
                 .pieces()
                 .iter()
                 .enumerate()
-                .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+                .map(|(i, p)| {
+                    MaximumMatchingCoreset::new().build(
+                        p,
+                        &params,
+                        i,
+                        &mut crate::streams::machine_rng(0, i),
+                    )
+                })
                 .collect();
             let (m, _) = greedy_match(g.n(), &coresets);
             assert!(
@@ -135,7 +149,14 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .map(|(i, p)| {
+                MaximumMatchingCoreset::new().build(
+                    p,
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(0, i),
+                )
+            })
             .collect();
         let (m, trace) = greedy_match(g.n(), &coresets);
         let opt = n_side; // the planted matching is perfect

@@ -27,8 +27,10 @@
 //! * [`capped`] — size-capped coreset wrappers for the lower-bound
 //!   experiments (Theorems 3 and 4).
 //! * [`weighted`] — the Crouch–Stubbs weighted-matching extension.
+//! * [`streams`] — per-machine `ChaCha8Rng` streams derived from
+//!   `(seed, machine)`, the basis of cross-thread-count determinism.
 //! * [`pipeline`] — end-to-end convenience runners (random partition → build
-//!   coresets in parallel with rayon → compose), the API most examples use.
+//!   coresets on parallel OS threads → compose), the API most examples use.
 //!
 //! ## Quick start
 //!
@@ -59,10 +61,11 @@ pub mod greedy_match;
 pub mod matching_coreset;
 pub mod params;
 pub mod pipeline;
+pub mod streams;
 pub mod vc_coreset;
 pub mod weighted;
 
-pub use capped::{cap_matching_coreset, cap_vc_coreset};
+pub use capped::{cap_matching_coreset, cap_vc_coreset, CappedMatchingCoreset};
 pub use compose::{compose_matching, compose_vertex_cover, solve_composed_matching};
 pub use greedy_match::{greedy_match, GreedyMatchTrace};
 pub use matching_coreset::{
@@ -73,6 +76,7 @@ pub use params::CoresetParams;
 pub use pipeline::{
     DistributedMatching, DistributedVertexCover, MatchingRunResult, VertexCoverRunResult,
 };
+pub use streams::{machine_jobs, machine_rng};
 pub use vc_coreset::{
     GroupedVcCoreset, LocalCoverCoreset, PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput,
 };

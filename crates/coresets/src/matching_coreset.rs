@@ -14,7 +14,6 @@ use crate::params::CoresetParams;
 use graph::{Edge, Graph};
 use matching::greedy::{maximal_matching, maximal_matching_by_key};
 use matching::maximum::{maximum_matching_with, MaximumMatchingAlgorithm};
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// A builder that turns one machine's piece `G^(i)` into its matching coreset
@@ -23,8 +22,18 @@ pub trait MatchingCoresetBuilder: Send + Sync {
     /// Builds the coreset subgraph of `piece`.
     ///
     /// `params` carries the global `n` and `k`; `machine` is this machine's
-    /// index (used only to derive per-machine randomness deterministically).
-    fn build(&self, piece: &Graph, params: &CoresetParams, machine: usize) -> Graph;
+    /// index. `rng` is this machine's **private** random stream, derived by
+    /// the protocol runner from `(seed, machine)` via
+    /// [`crate::streams::machine_rng`] *before* the parallel fan-out, so a
+    /// builder's output depends only on its inputs — never on thread count or
+    /// scheduling. Deterministic builders simply ignore it.
+    fn build(
+        &self,
+        piece: &Graph,
+        params: &CoresetParams,
+        machine: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Graph;
 
     /// Short human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
@@ -54,7 +63,13 @@ impl MaximumMatchingCoreset {
 }
 
 impl MatchingCoresetBuilder for MaximumMatchingCoreset {
-    fn build(&self, piece: &Graph, _params: &CoresetParams, _machine: usize) -> Graph {
+    fn build(
+        &self,
+        piece: &Graph,
+        _params: &CoresetParams,
+        _machine: usize,
+        _rng: &mut ChaCha8Rng,
+    ) -> Graph {
         let m = maximum_matching_with(piece, self.algorithm);
         Graph::from_edges(piece.n(), m.into_edges()).expect("matching edges come from the piece")
     }
@@ -93,7 +108,13 @@ impl MaximalMatchingCoreset {
 }
 
 impl MatchingCoresetBuilder for MaximalMatchingCoreset {
-    fn build(&self, piece: &Graph, _params: &CoresetParams, _machine: usize) -> Graph {
+    fn build(
+        &self,
+        piece: &Graph,
+        _params: &CoresetParams,
+        _machine: usize,
+        _rng: &mut ChaCha8Rng,
+    ) -> Graph {
         let m = if self.adversarial_prefer_high_ids {
             // Sort key is descending in the larger endpoint: trap vertices sit
             // at the top of the id range in the trap instance.
@@ -140,7 +161,13 @@ impl AvoidingMaximalMatchingCoreset {
 }
 
 impl MatchingCoresetBuilder for AvoidingMaximalMatchingCoreset {
-    fn build(&self, piece: &Graph, _params: &CoresetParams, _machine: usize) -> Graph {
+    fn build(
+        &self,
+        piece: &Graph,
+        _params: &CoresetParams,
+        _machine: usize,
+        _rng: &mut ChaCha8Rng,
+    ) -> Graph {
         let adj = piece.adjacency();
         let mut matched = vec![false; piece.n()];
         let mut chosen: Vec<Edge> = Vec::new();
@@ -228,13 +255,18 @@ impl SubsampledMatchingCoreset {
 }
 
 impl MatchingCoresetBuilder for SubsampledMatchingCoreset {
-    fn build(&self, piece: &Graph, params: &CoresetParams, machine: usize) -> Graph {
+    fn build(
+        &self,
+        piece: &Graph,
+        _params: &CoresetParams,
+        _machine: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Graph {
         use rand::Rng;
         let m = maximum_matching_with(piece, self.algorithm);
-        // Deterministic per-machine randomness: the subsampling must be
-        // independent across machines but reproducible for a fixed seed.
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(0x5EED_0000u64 ^ (params.k as u64) << 32 ^ machine as u64);
+        // The subsampling consumes this machine's private stream: independent
+        // across machines, reproducible for a fixed seed, and identical no
+        // matter how the machines are scheduled onto threads.
         let keep_p = 1.0 / self.alpha;
         let kept: Vec<Edge> = m
             .into_edges()
@@ -266,13 +298,18 @@ mod tests {
         CoresetParams::new(n, k)
     }
 
+    /// Machine 0's private stream for an arbitrary fixed test seed.
+    fn mrng(machine: usize) -> ChaCha8Rng {
+        crate::streams::machine_rng(0, machine)
+    }
+
     #[test]
     fn maximum_coreset_is_a_maximum_matching_of_the_piece() {
         let mut r = rng(1);
         let g = gnp(120, 0.05, &mut r);
         let part = EdgePartition::random(&g, 4, &mut r).unwrap();
         let piece = &part.pieces()[0];
-        let coreset = MaximumMatchingCoreset::new().build(piece, &params(120, 4), 0);
+        let coreset = MaximumMatchingCoreset::new().build(piece, &params(120, 4), 0, &mut mrng(0));
         // The coreset is a subgraph of the piece and forms a matching.
         let piece_edges: std::collections::HashSet<_> = piece.edges().iter().collect();
         assert!(coreset.edges().iter().all(|e| piece_edges.contains(e)));
@@ -286,7 +323,7 @@ mod tests {
     fn coreset_size_is_at_most_n_over_2() {
         let mut r = rng(2);
         let g = gnp(200, 0.1, &mut r);
-        let coreset = MaximumMatchingCoreset::new().build(&g, &params(200, 1), 0);
+        let coreset = MaximumMatchingCoreset::new().build(&g, &params(200, 1), 0, &mut mrng(0));
         assert!(coreset.m() <= 100, "a matching has at most n/2 edges");
     }
 
@@ -294,7 +331,7 @@ mod tests {
     fn maximal_coreset_is_maximal_in_the_piece() {
         let mut r = rng(3);
         let g = gnp(100, 0.06, &mut r);
-        let coreset = MaximalMatchingCoreset::new().build(&g, &params(100, 1), 0);
+        let coreset = MaximalMatchingCoreset::new().build(&g, &params(100, 1), 0, &mut mrng(0));
         let m = Matching::try_from_edges(coreset.edges().to_vec()).unwrap();
         assert!(m.is_maximal_in(&g));
     }
@@ -303,7 +340,8 @@ mod tests {
     fn adversarial_order_prefers_high_ids() {
         // Path 0-1-2 plus edge 1-3: adversarial prefers (1,3) over (0,1)/(1,2).
         let g = Graph::from_pairs(4, vec![(0, 1), (1, 2), (1, 3)]).unwrap();
-        let coreset = MaximalMatchingCoreset::adversarial().build(&g, &params(4, 1), 0);
+        let coreset =
+            MaximalMatchingCoreset::adversarial().build(&g, &params(4, 1), 0, &mut mrng(0));
         assert!(coreset.has_edge(1, 3));
     }
 
@@ -311,8 +349,8 @@ mod tests {
     fn subsampled_coreset_is_smaller() {
         let mut r = rng(4);
         let g = gnp(600, 0.02, &mut r);
-        let full = MaximumMatchingCoreset::new().build(&g, &params(600, 1), 0);
-        let sub = SubsampledMatchingCoreset::new(4.0).build(&g, &params(600, 1), 0);
+        let full = MaximumMatchingCoreset::new().build(&g, &params(600, 1), 0, &mut mrng(0));
+        let sub = SubsampledMatchingCoreset::new(4.0).build(&g, &params(600, 1), 0, &mut mrng(0));
         assert!(sub.m() < full.m());
         // Expected to keep about 1/4 of the edges; allow wide slack.
         assert!(sub.m() as f64 > full.m() as f64 * 0.05);
@@ -323,8 +361,8 @@ mod tests {
     fn subsampled_alpha_one_keeps_everything() {
         let mut r = rng(5);
         let g = gnp(100, 0.05, &mut r);
-        let full = MaximumMatchingCoreset::new().build(&g, &params(100, 1), 0);
-        let sub = SubsampledMatchingCoreset::new(1.0).build(&g, &params(100, 1), 0);
+        let full = MaximumMatchingCoreset::new().build(&g, &params(100, 1), 0, &mut mrng(0));
+        let sub = SubsampledMatchingCoreset::new(1.0).build(&g, &params(100, 1), 0, &mut mrng(0));
         assert_eq!(full.m(), sub.m());
     }
 
@@ -352,13 +390,13 @@ mod tests {
     fn empty_piece_produces_empty_coreset() {
         let g = Graph::empty(10);
         assert!(MaximumMatchingCoreset::new()
-            .build(&g, &params(10, 2), 0)
+            .build(&g, &params(10, 2), 0, &mut mrng(0))
             .is_empty());
         assert!(MaximalMatchingCoreset::new()
-            .build(&g, &params(10, 2), 0)
+            .build(&g, &params(10, 2), 0, &mut mrng(0))
             .is_empty());
         assert!(SubsampledMatchingCoreset::new(2.0)
-            .build(&g, &params(10, 2), 0)
+            .build(&g, &params(10, 2), 0, &mut mrng(0))
             .is_empty());
     }
 }

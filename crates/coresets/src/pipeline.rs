@@ -1,16 +1,25 @@
-//! End-to-end runners: random partition → per-machine coresets (in parallel
-//! with rayon) → coordinator composition.
+//! End-to-end runners: random partition → per-machine coresets (on parallel
+//! OS threads) → coordinator composition.
 //!
 //! These are the entry points most applications and examples use. They model
 //! the full simultaneous protocol of the paper on a single host: the `k`
-//! "machines" are rayon tasks, and the returned reports include the
-//! per-machine coreset sizes so that callers can reason about communication
-//! (the `distsim` crate layers precise accounting and the MapReduce model on
-//! top of these primitives).
+//! "machines" build their coresets concurrently on a scoped pool of real
+//! `std::thread` workers (the vendored rayon backend; worker count from
+//! `RC_THREADS` / `RAYON_NUM_THREADS` or all available cores), and the
+//! returned reports include the per-machine coreset sizes so that callers can
+//! reason about communication (the `distsim` crate layers precise accounting
+//! and the MapReduce model on top of these primitives).
+//!
+//! **Determinism:** the random partition is drawn and every machine's private
+//! `ChaCha8Rng` stream is derived from `(seed, machine)` *before* the
+//! parallel fan-out, and per-machine outputs are collected in machine order —
+//! so for a fixed seed the results are bit-identical regardless of how many
+//! worker threads run the machines or how they are scheduled.
 
 use crate::compose::{compose_vertex_cover, solve_composed_matching};
 use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
 use crate::params::CoresetParams;
+use crate::streams::machine_jobs;
 use crate::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
 use graph::partition::EdgePartition;
 use graph::{Graph, GraphError};
@@ -96,21 +105,24 @@ impl<B: MatchingCoresetBuilder> DistributedMatching<B> {
     }
 
     /// Runs the protocol on `g` with a random `k`-partition derived from
-    /// `seed`. The per-machine coreset construction runs in parallel.
+    /// `seed`. The per-machine coreset construction runs on parallel OS
+    /// threads; see the module docs for the determinism guarantee.
     pub fn run(&self, g: &Graph, seed: u64) -> Result<MatchingRunResult, GraphError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let partition = EdgePartition::random(g, self.k, &mut rng)?;
-        Ok(self.run_on_partition(g.n(), partition.pieces()))
+        Ok(self.run_on_partition(g.n(), partition.pieces(), seed))
     }
 
     /// Runs the protocol on an existing partition (useful when the caller
-    /// wants a non-random partition for comparison experiments).
-    pub fn run_on_partition(&self, n: usize, pieces: &[Graph]) -> MatchingRunResult {
+    /// wants a non-random partition for comparison experiments). `seed`
+    /// derives each machine's private RNG stream.
+    pub fn run_on_partition(&self, n: usize, pieces: &[Graph], seed: u64) -> MatchingRunResult {
         let params = CoresetParams::new(n, pieces.len().max(1));
-        let coresets: Vec<Graph> = pieces
-            .par_iter()
-            .enumerate()
-            .map(|(i, piece)| self.builder.build(piece, &params, i))
+        // All randomness is fixed here, before the fan-out: machine i's
+        // stream is a pure function of (seed, i).
+        let coresets: Vec<Graph> = machine_jobs(pieces, seed)
+            .into_par_iter()
+            .map(|(i, piece, mut rng)| self.builder.build(piece, &params, i, &mut rng))
             .collect();
         let coreset_sizes = coresets.iter().map(Graph::m).collect();
         let piece_sizes = pieces.iter().map(Graph::m).collect();
@@ -148,20 +160,21 @@ impl<B: VcCoresetBuilder> DistributedVertexCover<B> {
     }
 
     /// Runs the protocol on `g` with a random `k`-partition derived from
-    /// `seed`. The per-machine coreset construction runs in parallel.
+    /// `seed`. The per-machine coreset construction runs on parallel OS
+    /// threads; see the module docs for the determinism guarantee.
     pub fn run(&self, g: &Graph, seed: u64) -> Result<VertexCoverRunResult, GraphError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let partition = EdgePartition::random(g, self.k, &mut rng)?;
-        Ok(self.run_on_partition(g.n(), partition.pieces()))
+        Ok(self.run_on_partition(g.n(), partition.pieces(), seed))
     }
 
-    /// Runs the protocol on an existing partition.
-    pub fn run_on_partition(&self, n: usize, pieces: &[Graph]) -> VertexCoverRunResult {
+    /// Runs the protocol on an existing partition. `seed` derives each
+    /// machine's private RNG stream.
+    pub fn run_on_partition(&self, n: usize, pieces: &[Graph], seed: u64) -> VertexCoverRunResult {
         let params = CoresetParams::new(n, pieces.len().max(1));
-        let outputs: Vec<VcCoresetOutput> = pieces
-            .par_iter()
-            .enumerate()
-            .map(|(i, piece)| self.builder.build(piece, &params, i))
+        let outputs: Vec<VcCoresetOutput> = machine_jobs(pieces, seed)
+            .into_par_iter()
+            .map(|(i, piece, mut rng)| self.builder.build(piece, &params, i, &mut rng))
             .collect();
         let coreset_sizes = outputs.iter().map(VcCoresetOutput::size).collect();
         let piece_sizes = pieces.iter().map(Graph::m).collect();

@@ -13,6 +13,7 @@
 
 use crate::params::CoresetParams;
 use graph::{Graph, VertexId};
+use rand_chacha::ChaCha8Rng;
 use vertexcover::approx::two_approx_cover;
 use vertexcover::peeling::peel_with_thresholds;
 
@@ -42,7 +43,17 @@ impl VcCoresetOutput {
 /// coreset.
 pub trait VcCoresetBuilder: Send + Sync {
     /// Builds the coreset of `piece`.
-    fn build(&self, piece: &Graph, params: &CoresetParams, machine: usize) -> VcCoresetOutput;
+    ///
+    /// `rng` is this machine's private stream, derived from `(seed, machine)`
+    /// by the protocol runner before the parallel fan-out (see
+    /// [`crate::streams::machine_rng`]); deterministic builders ignore it.
+    fn build(
+        &self,
+        piece: &Graph,
+        params: &CoresetParams,
+        machine: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> VcCoresetOutput;
 
     /// Short human-readable name used in experiment tables.
     fn name(&self) -> &'static str;
@@ -60,7 +71,13 @@ impl PeelingVcCoreset {
 }
 
 impl VcCoresetBuilder for PeelingVcCoreset {
-    fn build(&self, piece: &Graph, params: &CoresetParams, _machine: usize) -> VcCoresetOutput {
+    fn build(
+        &self,
+        piece: &Graph,
+        params: &CoresetParams,
+        _machine: usize,
+        _rng: &mut ChaCha8Rng,
+    ) -> VcCoresetOutput {
         let schedule = params.peeling_schedule();
         let outcome = peel_with_thresholds(piece, &schedule);
         VcCoresetOutput {
@@ -101,7 +118,13 @@ impl LocalCoverCoreset {
 }
 
 impl VcCoresetBuilder for LocalCoverCoreset {
-    fn build(&self, piece: &Graph, _params: &CoresetParams, _machine: usize) -> VcCoresetOutput {
+    fn build(
+        &self,
+        piece: &Graph,
+        _params: &CoresetParams,
+        _machine: usize,
+        _rng: &mut ChaCha8Rng,
+    ) -> VcCoresetOutput {
         let fixed_vertices: Vec<VertexId> = if self.adversarial_prefer_leaves {
             // Cover each edge by its *larger* endpoint (the leaf in star
             // instances where centres have small ids), deduplicated.
@@ -215,10 +238,11 @@ impl GroupedVcCoreset {
         piece: &Graph,
         params: &CoresetParams,
         machine: usize,
+        rng: &mut ChaCha8Rng,
     ) -> VcCoresetOutput {
         let contracted = self.contract(piece);
         let contracted_params = CoresetParams::new(self.contracted_n(params.n), params.k);
-        let mut out = PeelingVcCoreset::new().build(&contracted, &contracted_params, machine);
+        let mut out = PeelingVcCoreset::new().build(&contracted, &contracted_params, machine, rng);
 
         // Edges that fall entirely inside a group contract to self-loops; in
         // the multigraph view of Remark 5.8 a self-loop forces its supervertex
@@ -252,11 +276,14 @@ impl GroupedVcCoreset {
         &self,
         pieces: &[Graph],
         params: &CoresetParams,
+        seed: u64,
     ) -> (Vec<VertexId>, Vec<usize>) {
-        let outputs: Vec<VcCoresetOutput> = pieces
-            .iter()
-            .enumerate()
-            .map(|(i, p)| self.build_contracted(p, params, i))
+        use rayon::prelude::*;
+        // Same fan-out discipline as the pipeline runners: per-machine RNG
+        // streams fixed before the parallel stage, outputs in machine order.
+        let outputs: Vec<VcCoresetOutput> = crate::streams::machine_jobs(pieces, seed)
+            .into_par_iter()
+            .map(|(i, p, mut rng)| self.build_contracted(p, params, i, &mut rng))
             .collect();
         let sizes: Vec<usize> = outputs.iter().map(VcCoresetOutput::size).collect();
 
@@ -292,6 +319,11 @@ mod tests {
         ChaCha8Rng::seed_from_u64(seed)
     }
 
+    /// Machine `machine`'s private stream for an arbitrary fixed test seed.
+    fn mrng(machine: usize) -> ChaCha8Rng {
+        crate::streams::machine_rng(0, machine)
+    }
+
     /// Helper: compose coresets the way the coordinator does and check the
     /// result covers the whole graph.
     fn compose_and_check(g: &Graph, outputs: &[VcCoresetOutput]) -> VertexCover {
@@ -322,7 +354,7 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i))
+            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i, &mut mrng(i)))
             .collect();
         let cover = compose_and_check(&g, &outputs);
         // O(log n) approximation with a generous constant: the optimum is at
@@ -338,7 +370,7 @@ mod tests {
         let n = 2000;
         let g = gnp(n, 0.05, &mut r);
         let params = CoresetParams::new(n, 1);
-        let out = PeelingVcCoreset::new().build(&g, &params, 0);
+        let out = PeelingVcCoreset::new().build(&g, &params, 0, &mut mrng(0));
         let last_threshold = *params.peeling_schedule().last().unwrap_or(&usize::MAX);
         assert!(
             out.residual.max_degree() <= last_threshold.max(8 * (n as f64).log2() as usize),
@@ -357,7 +389,7 @@ mod tests {
         // the whole piece is forwarded (still only O(n log n) edges).
         let g = star(20);
         let params = CoresetParams::new(21, 8);
-        let out = PeelingVcCoreset::new().build(&g, &params, 0);
+        let out = PeelingVcCoreset::new().build(&g, &params, 0, &mut mrng(0));
         assert!(out.fixed_vertices.is_empty());
         assert_eq!(out.residual.m(), g.m());
     }
@@ -375,7 +407,7 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| adversarial.build(p, &params, i))
+            .map(|(i, p)| adversarial.build(p, &params, i, &mut mrng(i)))
             .collect();
         // The union of local covers does cover the graph...
         let cover = compose_and_check(&g, &outputs);
@@ -423,7 +455,7 @@ mod tests {
         let params = CoresetParams::new(n, k);
 
         let grouped = GroupedVcCoreset::new(3);
-        let (cover_vertices, grouped_sizes) = grouped.run_protocol(part.pieces(), &params);
+        let (cover_vertices, grouped_sizes) = grouped.run_protocol(part.pieces(), &params, 4);
         let cover = VertexCover::from_vertices(cover_vertices);
         assert!(
             cover.covers(&g),
@@ -435,7 +467,11 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i).size())
+            .map(|(i, p)| {
+                PeelingVcCoreset::new()
+                    .build(p, &params, i, &mut mrng(i))
+                    .size()
+            })
             .collect();
         let grouped_total: usize = grouped_sizes.iter().sum();
         let ungrouped_total: usize = ungrouped_sizes.iter().sum();
@@ -466,11 +502,11 @@ mod tests {
     fn empty_piece_produces_empty_output() {
         let g = Graph::empty(30);
         let params = CoresetParams::new(30, 3);
-        let out = PeelingVcCoreset::new().build(&g, &params, 0);
+        let out = PeelingVcCoreset::new().build(&g, &params, 0, &mut mrng(0));
         assert_eq!(out.size(), 0);
-        let out = LocalCoverCoreset::new().build(&g, &params, 0);
+        let out = LocalCoverCoreset::new().build(&g, &params, 0, &mut mrng(0));
         assert_eq!(out.size(), 0);
-        let out = GroupedVcCoreset::new(2).build_contracted(&g, &params, 0);
+        let out = GroupedVcCoreset::new(2).build_contracted(&g, &params, 0, &mut mrng(0));
         assert_eq!(out.size(), 0);
     }
 }

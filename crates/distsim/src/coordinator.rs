@@ -9,11 +9,20 @@
 //! 3. the coordinator combines the messages and outputs the answer; no
 //!    further interaction happens.
 //!
-//! Machines execute in parallel on rayon worker threads; all randomness is
-//! derived from an explicit seed so that runs are reproducible.
+//! Machines execute **simultaneously on real OS threads**: the vendored rayon
+//! backend spawns a scoped pool of `std::thread` workers (worker count from
+//! `RC_THREADS` / `RAYON_NUM_THREADS`, or every available core) and each
+//! worker builds the coresets of its chunk of machines. All randomness is
+//! fixed *before* that fan-out — the edge partition is drawn from the run
+//! seed, and machine `i`'s private `ChaCha8Rng` stream is derived from
+//! `(seed, i)` via [`coresets::streams::machine_rng`] — and per-machine
+//! messages are collected in machine order, so a run's answer, coreset sizes
+//! and communication cost are bit-identical for any thread count or schedule
+//! (asserted by `tests/determinism.rs`).
 
 use crate::comm::{CommunicationCost, CostModel};
 use coresets::matching_coreset::MatchingCoresetBuilder;
+use coresets::streams::machine_jobs;
 use coresets::vc_coreset::{VcCoresetBuilder, VcCoresetOutput};
 use coresets::{compose_vertex_cover, solve_composed_matching, CoresetParams};
 use graph::partition::{EdgePartition, PartitionStrategy};
@@ -66,11 +75,11 @@ impl CoordinatorProtocol {
         let params = CoresetParams::new(g.n(), self.k);
         let model = CostModel::for_n(g.n());
 
-        let coresets: Vec<Graph> = partition
-            .pieces()
-            .par_iter()
-            .enumerate()
-            .map(|(i, piece)| builder.build(piece, &params, i))
+        // Machine RNG streams are derived from (seed, machine) before the
+        // fan-out; the parallel stage consumes only machine-local state.
+        let coresets: Vec<Graph> = machine_jobs(partition.pieces(), seed)
+            .into_par_iter()
+            .map(|(i, piece, mut rng)| builder.build(piece, &params, i, &mut rng))
             .collect();
 
         let mut communication = CommunicationCost::default();
@@ -100,11 +109,9 @@ impl CoordinatorProtocol {
         let params = CoresetParams::new(g.n(), self.k);
         let model = CostModel::for_n(g.n());
 
-        let outputs: Vec<VcCoresetOutput> = partition
-            .pieces()
-            .par_iter()
-            .enumerate()
-            .map(|(i, piece)| builder.build(piece, &params, i))
+        let outputs: Vec<VcCoresetOutput> = machine_jobs(partition.pieces(), seed)
+            .into_par_iter()
+            .map(|(i, piece, mut rng)| builder.build(piece, &params, i, &mut rng))
             .collect();
 
         let mut communication = CommunicationCost::default();

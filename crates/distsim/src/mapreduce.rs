@@ -17,6 +17,7 @@
 
 use crate::comm::CostModel;
 use coresets::matching_coreset::MatchingCoresetBuilder;
+use coresets::streams::machine_jobs;
 use coresets::vc_coreset::{VcCoresetBuilder, VcCoresetOutput};
 use coresets::{compose_vertex_cover, solve_composed_matching, CoresetParams};
 use graph::partition::EdgePartition;
@@ -106,11 +107,11 @@ impl MapReduceSimulator {
         builder: &B,
         seed: u64,
     ) -> Result<MapReduceOutcome<Matching>, GraphError> {
-        self.run_generic(g, seed, |pieces, params| {
-            let coresets: Vec<Graph> = pieces
-                .par_iter()
-                .enumerate()
-                .map(|(i, p)| builder.build(p, params, i))
+        self.run_generic(g, seed, |pieces, params, machine_seed| {
+            // Per-machine RNG streams are fixed before the round-2 fan-out.
+            let coresets: Vec<Graph> = machine_jobs(pieces, machine_seed)
+                .into_par_iter()
+                .map(|(i, p, mut rng)| builder.build(p, params, i, &mut rng))
                 .collect();
             let coreset_words: Vec<u64> = coresets.iter().map(|c| 2 * c.m() as u64).collect();
             let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
@@ -126,11 +127,10 @@ impl MapReduceSimulator {
         builder: &B,
         seed: u64,
     ) -> Result<MapReduceOutcome<VertexCover>, GraphError> {
-        self.run_generic(g, seed, |pieces, params| {
-            let outputs: Vec<VcCoresetOutput> = pieces
-                .par_iter()
-                .enumerate()
-                .map(|(i, p)| builder.build(p, params, i))
+        self.run_generic(g, seed, |pieces, params, machine_seed| {
+            let outputs: Vec<VcCoresetOutput> = machine_jobs(pieces, machine_seed)
+                .into_par_iter()
+                .map(|(i, p, mut rng)| builder.build(p, params, i, &mut rng))
                 .collect();
             let model = CostModel::for_n(params.n);
             let coreset_words: Vec<u64> = outputs
@@ -146,7 +146,7 @@ impl MapReduceSimulator {
         &self,
         g: &Graph,
         seed: u64,
-        solve: impl FnOnce(&[Graph], &CoresetParams) -> (T, Vec<u64>),
+        solve: impl FnOnce(&[Graph], &CoresetParams, u64) -> (T, Vec<u64>),
     ) -> Result<MapReduceOutcome<T>, GraphError> {
         let k = self.config.k;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -170,9 +170,10 @@ impl MapReduceSimulator {
             });
         }
 
-        // Round 2: build coresets locally, send them to machine M, solve there.
+        // Round 2: build coresets locally (in parallel, each machine on its
+        // own pre-derived RNG stream), send them to machine M, solve there.
         let params = CoresetParams::new(g.n(), k);
-        let (answer, coreset_words) = solve(partition.pieces(), &params);
+        let (answer, coreset_words) = solve(partition.pieces(), &params, seed);
         let central_words: u64 = coreset_words.iter().sum();
         rounds.push(RoundStats {
             description: "coresets: build locally, union and solve on the designated machine"

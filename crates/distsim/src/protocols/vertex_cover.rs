@@ -61,7 +61,8 @@ pub fn report_grouped_protocol(
     let partition = EdgePartition::random(g, k, &mut rng)?;
     let params = CoresetParams::new(g.n(), k);
     let grouped = GroupedVcCoreset::for_alpha(alpha, g.n());
-    let (cover_vertices, contracted_sizes) = grouped.run_protocol(partition.pieces(), &params);
+    let (cover_vertices, contracted_sizes) =
+        grouped.run_protocol(partition.pieces(), &params, seed);
     let cover = VertexCover::from_vertices(cover_vertices);
 
     // Contracted messages are measured in the contracted id space.

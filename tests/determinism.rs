@@ -1,0 +1,171 @@
+//! Cross-thread-count determinism: for a fixed seed, every protocol's
+//! **complete** output — matching edge lists, cover vertex sets, coreset
+//! sizes, communication costs, MapReduce round stats — must be bit-identical
+//! whether the simulated machines run on 1, 2, or 8 worker threads.
+//!
+//! This is the contract that makes the experiment tables in EXPERIMENTS.md
+//! trustworthy on any host: parallelism may only change wall-clock time,
+//! never the answer. The vendored rayon backend guarantees it by chunking
+//! machines over scoped `std::thread` workers and collecting per-machine
+//! results in machine order, and the protocol runners guarantee it by
+//! deriving each machine's private `ChaCha8Rng` stream from `(seed, machine)`
+//! *before* the parallel fan-out (see `coresets::streams`).
+
+use coresets::matching_coreset::{MaximumMatchingCoreset, SubsampledMatchingCoreset};
+use coresets::vc_coreset::PeelingVcCoreset;
+use coresets::{DistributedMatching, DistributedVertexCover};
+use distsim::coordinator::CoordinatorProtocol;
+use distsim::mapreduce::{MapReduceConfig, MapReduceSimulator};
+use graph::gen::er::gnp;
+use graph::gen::hard::maximal_matching_trap;
+use graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::ThreadPoolBuilder;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` under a pool pinned to `threads` workers.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("vendored pool builder is infallible")
+        .install(f)
+}
+
+/// Collects `f()` under every thread count and asserts all outputs are equal
+/// (comparing against the 1-thread reference).
+fn assert_same_across_thread_counts<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let reference = with_threads(THREAD_COUNTS[0], &f);
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = with_threads(threads, &f);
+        assert_eq!(
+            got, reference,
+            "output diverged between 1 and {threads} worker threads"
+        );
+    }
+}
+
+fn workload(n: usize, p: f64, seed: u64) -> Graph {
+    gnp(n, p, &mut ChaCha8Rng::seed_from_u64(seed))
+}
+
+#[test]
+fn coordinator_matching_protocol_is_thread_count_invariant() {
+    let g = workload(1200, 0.01, 1);
+    assert_same_across_thread_counts(|| {
+        let run = CoordinatorProtocol::random(8)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 42)
+            .unwrap();
+        (
+            run.answer.edges().to_vec(),
+            run.communication,
+            run.piece_sizes,
+        )
+    });
+}
+
+#[test]
+fn coordinator_vertex_cover_protocol_is_thread_count_invariant() {
+    let g = workload(1500, 0.008, 2);
+    assert_same_across_thread_counts(|| {
+        let run = CoordinatorProtocol::random(8)
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), 43)
+            .unwrap();
+        (
+            run.answer.sorted_vertices(),
+            run.communication,
+            run.piece_sizes,
+        )
+    });
+}
+
+#[test]
+fn mapreduce_matching_is_thread_count_invariant() {
+    let g = workload(900, 0.02, 3);
+    let cfg = MapReduceConfig::paper_defaults(900);
+    assert_same_across_thread_counts(|| {
+        let out = MapReduceSimulator::new(cfg)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 44)
+            .unwrap();
+        (
+            out.answer.edges().to_vec(),
+            out.rounds,
+            out.within_memory_budget,
+        )
+    });
+}
+
+#[test]
+fn mapreduce_vertex_cover_is_thread_count_invariant() {
+    let g = workload(900, 0.02, 4);
+    let cfg = MapReduceConfig::paper_defaults(900);
+    assert_same_across_thread_counts(|| {
+        let out = MapReduceSimulator::new(cfg)
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), 45)
+            .unwrap();
+        (
+            out.answer.sorted_vertices(),
+            out.rounds,
+            out.within_memory_budget,
+        )
+    });
+}
+
+#[test]
+fn pipeline_runners_are_thread_count_invariant() {
+    let g = workload(1000, 0.012, 5);
+    assert_same_across_thread_counts(|| {
+        let m = DistributedMatching::new(6).run(&g, 46).unwrap();
+        let c = DistributedVertexCover::new(6).run(&g, 46).unwrap();
+        (
+            m.matching.edges().to_vec(),
+            m.coreset_sizes,
+            m.piece_sizes,
+            c.cover.sorted_vertices(),
+            c.coreset_sizes,
+        )
+    });
+}
+
+/// The subsampled coreset (Remark 5.2) actually *consumes* its per-machine
+/// RNG stream, so this is the sharpest determinism test: any coupling between
+/// scheduling and randomness would show up here.
+#[test]
+fn rng_consuming_builder_is_thread_count_invariant() {
+    let g = workload(1400, 0.015, 6);
+    assert_same_across_thread_counts(|| {
+        let run = CoordinatorProtocol::random(8)
+            .run_matching(&g, &SubsampledMatchingCoreset::new(3.0), 47)
+            .unwrap();
+        (run.answer.edges().to_vec(), run.communication)
+    });
+}
+
+/// The paper's hard trap instance, not just G(n,p): determinism must hold on
+/// adversarial structure too.
+#[test]
+fn hard_instance_runs_are_thread_count_invariant() {
+    let inst = maximal_matching_trap(400, 0.125).unwrap();
+    assert_same_across_thread_counts(|| {
+        let run = DistributedMatching::new(8).run(&inst.graph, 48).unwrap();
+        (run.matching.edges().to_vec(), run.coreset_sizes)
+    });
+}
+
+/// Different seeds still change the answer (the determinism above is not the
+/// degenerate "everything collapsed to one stream" kind).
+#[test]
+fn different_seeds_produce_different_subsampled_runs() {
+    let g = workload(1400, 0.015, 7);
+    let run = |seed| {
+        CoordinatorProtocol::random(8)
+            .run_matching(&g, &SubsampledMatchingCoreset::new(3.0), seed)
+            .unwrap()
+            .answer
+            .edges()
+            .to_vec()
+    };
+    assert_ne!(run(1), run(2), "distinct seeds should perturb the output");
+}

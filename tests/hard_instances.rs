@@ -1,16 +1,22 @@
 //! Integration tests for the paper's hard distributions and the lower-bound
 //! experiment machinery (Theorems 3 and 4, Section 1.2 separations).
+//!
+//! The `*_regression` tests promote the cap sweeps of the lower-bound
+//! experiment binaries (`exp_matching_lower_bound` / E5 and
+//! `exp_vc_lower_bound` / E6) into fixed-seed regressions: the *shape* of the
+//! lower bound — approximation collapsing once the coreset is capped below
+//! the Ω(n/α²) (matching) or Ω(n/α) (vertex cover) threshold — is asserted
+//! with explicit ratio bounds, so a regression in the hard-instance
+//! generators, the capping helpers, or the protocol runners trips a test
+//! instead of silently bending an experiment table.
 
-use coresets::capped::{cap_matching_coreset, cap_vc_coreset};
+use coresets::capped::cap_vc_coreset;
 use coresets::compose::compose_vertex_cover;
-use coresets::matching_coreset::{
-    AvoidingMaximalMatchingCoreset, MatchingCoresetBuilder, MaximumMatchingCoreset,
-};
+use coresets::matching_coreset::AvoidingMaximalMatchingCoreset;
 use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
-use coresets::{CoresetParams, DistributedMatching};
+use coresets::{machine_rng, CappedMatchingCoreset, CoresetParams, DistributedMatching};
 use graph::gen::hard::{d_matching, d_vc, maximal_matching_trap};
 use graph::partition::EdgePartition;
-use graph::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -30,24 +36,9 @@ fn capped_coresets_degrade_on_d_matching() {
     let g = inst.graph.to_graph();
     let opt_lb = inst.matching_lower_bound();
 
-    #[derive(Clone, Copy)]
-    struct Capped {
-        cap: usize,
-    }
-    impl MatchingCoresetBuilder for Capped {
-        fn build(&self, piece: &Graph, params: &CoresetParams, machine: usize) -> Graph {
-            let full = MaximumMatchingCoreset::new().build(piece, params, machine);
-            let mut rng = ChaCha8Rng::seed_from_u64(machine as u64);
-            cap_matching_coreset(&full, self.cap, &mut rng)
-        }
-        fn name(&self) -> &'static str {
-            "capped"
-        }
-    }
-
     let uncapped = DistributedMatching::new(k).run(&g, 5).unwrap();
     let tiny_cap = ((n as f64 / (alpha * alpha)) as usize / 8).max(1);
-    let capped = DistributedMatching::with_builder(k, Capped { cap: tiny_cap })
+    let capped = DistributedMatching::with_builder(k, CappedMatchingCoreset::new(tiny_cap))
         .run(&g, 5)
         .unwrap();
 
@@ -62,6 +53,66 @@ fn capped_coresets_degrade_on_d_matching() {
     // The uncapped composition is a constant-factor approximation of the
     // planted matching, as Theorem 1 promises.
     assert!(9 * uncapped.matching.len() >= opt_lb);
+}
+
+/// E5 promoted to a regression: sweep the per-machine cap across the
+/// Theorem 3 threshold `n/α²` on D_Matching with a fixed seed and assert the
+/// achieved approximation ratio (a) degrades monotonically as the cap
+/// shrinks, (b) collapses past `α` for caps well below the threshold, and
+/// (c) stays constant-factor for the uncapped coreset.
+#[test]
+fn theorem3_cap_sweep_regression() {
+    let n = 3000;
+    let alpha = 6.0;
+    let k = 6;
+    let seed = 41;
+    let mut r = rng(seed);
+    let inst = d_matching(n, alpha, k, &mut r).unwrap();
+    let g = inst.graph.to_graph();
+    let opt_lb = inst.matching_lower_bound() as f64;
+
+    let threshold = (n as f64 / (alpha * alpha)).round() as usize; // ~83
+    let caps = [threshold / 8, threshold / 2, threshold, 4 * threshold];
+    let ratios: Vec<f64> = caps
+        .iter()
+        .map(|&cap| {
+            let run = DistributedMatching::with_builder(k, CappedMatchingCoreset::new(cap))
+                .run(&g, seed)
+                .unwrap();
+            assert!(run.matching.is_valid_for(&g));
+            opt_lb / run.matching.len().max(1) as f64
+        })
+        .collect();
+
+    // (a) Smaller caps never help.
+    for w in ratios.windows(2) {
+        assert!(
+            w[0] >= w[1] * 0.95,
+            "ratio should not improve as the cap shrinks: {ratios:?}"
+        );
+    }
+    // (b) A cap 8x below the threshold is far worse than alpha-approximate.
+    assert!(
+        ratios[0] > alpha,
+        "cap {} (threshold/8) should push the ratio past alpha = {alpha}, got {}",
+        caps[0],
+        ratios[0]
+    );
+    // (c) The uncapped protocol stays a small-constant-factor approximation.
+    let uncapped = DistributedMatching::new(k).run(&g, seed).unwrap();
+    let uncapped_ratio = opt_lb / uncapped.matching.len().max(1) as f64;
+    assert!(
+        uncapped_ratio <= 3.0,
+        "uncapped ratio {uncapped_ratio} should be a small constant (Theorem 1)"
+    );
+    // And a cap comfortably above the threshold is much closer to uncapped
+    // than the collapsed small-cap runs.
+    assert!(
+        ratios[3] <= ratios[0] / 2.0,
+        "4x-threshold cap ({}) should at least halve the collapsed ratio ({})",
+        ratios[3],
+        ratios[0]
+    );
 }
 
 /// On D_VC, capping the coreset far below n/alpha usually drops the hidden
@@ -87,7 +138,9 @@ fn capped_coresets_miss_the_hidden_edge_on_d_vc() {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i))
+            .map(|(i, p)| {
+                PeelingVcCoreset::new().build(p, &params, i, &mut machine_rng(100 + t, i))
+            })
             .collect();
         let tiny_cap = ((n as f64 / alpha) as usize / 20).max(1);
         let capped_outputs: Vec<VcCoresetOutput> = full_outputs
@@ -116,6 +169,74 @@ fn capped_coresets_miss_the_hidden_edge_on_d_vc() {
     assert!(
         covered_capped < trials,
         "a coreset capped 20x below n/alpha should miss e* at least once in {trials} trials"
+    );
+}
+
+/// E6 promoted to a regression: sweep the cap across the Theorem 4 threshold
+/// `n/α` on D_VC with fixed seeds. Below the threshold the hidden edge e* is
+/// frequently dropped; at/above it, e* is (almost) always covered, and the
+/// uncapped composed cover stays within the O(log n) approximation bound of
+/// Theorem 2 relative to the certified optimum.
+#[test]
+fn theorem4_cap_sweep_regression() {
+    let n = 2000;
+    let alpha = 8.0;
+    let k = 6;
+    let trials = 10u64;
+    let threshold = (n as f64 / alpha).round() as usize; // 250
+
+    let coverage_of = |cap: usize| -> (usize, f64) {
+        let mut covered = 0usize;
+        let mut worst_ratio = 0.0f64;
+        for t in 0..trials {
+            let seed = 9000 + t;
+            let mut r = rng(seed);
+            let inst = d_vc(n, alpha, k, &mut r).unwrap();
+            let g = inst.graph.to_graph();
+            let params = CoresetParams::new(g.n(), k);
+            let partition = EdgePartition::random(&g, k, &mut r).unwrap();
+            let outputs: Vec<VcCoresetOutput> = partition
+                .pieces()
+                .iter()
+                .enumerate()
+                .map(|(i, piece)| {
+                    let mut mrng = machine_rng(seed, i);
+                    let full = PeelingVcCoreset::new().build(piece, &params, i, &mut mrng);
+                    cap_vc_coreset(&full, cap, &mut mrng)
+                })
+                .collect();
+            let cover = compose_vertex_cover(&outputs);
+            let (l, rstar) = inst.e_star;
+            let r_flat = inst.graph.left_n() as u32 + rstar;
+            if cover.contains(l) || cover.contains(r_flat) {
+                covered += 1;
+            }
+            worst_ratio = worst_ratio.max(cover.len() as f64 / inst.vc_upper_bound() as f64);
+        }
+        (covered, worst_ratio)
+    };
+
+    let (covered_tiny, _) = coverage_of(threshold / 10);
+    let (covered_at, _) = coverage_of(2 * threshold);
+    assert!(
+        covered_tiny < covered_at,
+        "a cap 10x below n/alpha ({covered_tiny}/{trials}) must miss e* more often than a cap \
+         above it ({covered_at}/{trials})"
+    );
+    assert_eq!(
+        covered_at, trials as usize,
+        "caps above the threshold keep e* in every trial"
+    );
+
+    // Uncapped: always feasible and within the Theorem 2 O(log n) factor of
+    // the certified optimum upper bound (|A| + 1).
+    let (covered_uncapped, worst_ratio) = coverage_of(usize::MAX);
+    assert_eq!(covered_uncapped, trials as usize);
+    let log_n = (n as f64).log2();
+    assert!(
+        worst_ratio <= 4.0 * log_n,
+        "uncapped cover ratio {worst_ratio} exceeds the 4·log2(n) = {} slack",
+        4.0 * log_n
     );
 }
 

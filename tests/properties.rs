@@ -5,7 +5,7 @@
 use coresets::compose::{compose_vertex_cover, solve_composed_matching};
 use coresets::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
 use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
-use coresets::CoresetParams;
+use coresets::{machine_rng, CoresetParams, DistributedMatching, DistributedVertexCover};
 use graph::partition::EdgePartition;
 use graph::Graph;
 use matching::greedy::maximal_matching;
@@ -91,7 +91,7 @@ proptest! {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i, &mut machine_rng(seed, i)))
             .collect();
         for c in &coresets {
             prop_assert!(c.m() <= g.n() / 2 + 1);
@@ -116,11 +116,48 @@ proptest! {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i))
+            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i, &mut machine_rng(seed, i)))
             .collect();
         let cover = compose_vertex_cover(&outputs);
         prop_assert!(cover.covers(&g));
         prop_assert!(cover.len() <= g.n());
+    }
+
+    /// End-to-end pipeline: the composed matching is never smaller than the
+    /// best single machine's matching — composition can only help, since the
+    /// union of the coresets contains every machine's maximum matching.
+    #[test]
+    fn composed_matching_dominates_best_single_machine(g in arb_graph(90, 400), k in 1usize..9, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let part = EdgePartition::random(&g, k, &mut rng).unwrap();
+        let best_single = part
+            .pieces()
+            .iter()
+            .map(|p| maximum_matching(p).len())
+            .max()
+            .unwrap_or(0);
+        let run = DistributedMatching::new(k).run_on_partition(g.n(), part.pieces(), seed);
+        prop_assert!(run.matching.is_valid_for(&g));
+        prop_assert!(
+            run.matching.len() >= best_single,
+            "composed {} < best single machine {best_single}",
+            run.matching.len()
+        );
+    }
+
+    /// End-to-end pipeline: the composed vertex cover is always a feasible
+    /// cover of the original graph, and by weak duality never smaller than
+    /// the maximum-matching lower bound.
+    #[test]
+    fn composed_cover_is_valid_and_dominates_matching_bound(g in arb_graph(90, 400), k in 1usize..9, seed in any::<u64>()) {
+        let run = DistributedVertexCover::new(k).run(&g, seed).unwrap();
+        prop_assert!(run.cover.covers(&g));
+        let mm = maximum_matching(&g).len();
+        prop_assert!(
+            run.cover.len() >= mm,
+            "cover {} below the maximum-matching lower bound {mm}",
+            run.cover.len()
+        );
     }
 
     /// GreedyMatch (the paper's analysis vehicle) never produces an invalid
@@ -134,7 +171,7 @@ proptest! {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i))
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i, &mut machine_rng(seed, i)))
             .collect();
         let (greedy, trace) = coresets::greedy_match::greedy_match(g.n(), &coresets);
         prop_assert!(greedy.is_valid_for(&g));

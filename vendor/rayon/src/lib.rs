@@ -1,65 +1,428 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by **real `std::thread` parallelism**.
 //!
-//! `par_iter()` returns the corresponding **sequential** std iterator, so all
-//! downstream adapters (`map`, `enumerate`, `collect`, …) work unchanged and
-//! results are bit-identical to a rayon run with one worker thread. The
-//! simulators in this workspace only rely on `par_iter` for throughput, never
-//! for semantics, so a sequential drop-in preserves correctness; swapping the
-//! real rayon back in is a manifest-only change.
+//! Unlike the earlier sequential stub, `par_iter()`/`into_par_iter()` here
+//! execute their `map` stages on a scoped pool of OS threads: the input is
+//! split into one contiguous chunk per worker, each worker maps its chunk, and
+//! the per-chunk outputs are concatenated **in input order**. Results are
+//! therefore bit-identical to a sequential run regardless of the number of
+//! threads or how the OS schedules them — the property the workspace's
+//! cross-thread-count determinism tests (`tests/determinism.rs`) assert.
+//!
+//! The worker count is resolved, in priority order, from:
+//!
+//! 1. a surrounding [`ThreadPool::install`] scope (highest priority),
+//! 2. the `RC_THREADS` environment variable,
+//! 3. the `RAYON_NUM_THREADS` environment variable (rayon's own knob),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Only the API surface this workspace uses is provided (`par_iter`,
+//! `into_par_iter`, `map`, `enumerate`, `filter`, `collect`, `sum`, `count`,
+//! `for_each`, plus `ThreadPoolBuilder`/`ThreadPool` and
+//! [`current_num_threads`]); swapping the real rayon back in remains a
+//! manifest-only change. Nested parallel calls from inside a worker thread are
+//! executed with the default thread count (a fresh scope is spawned); the
+//! simulators never nest, so this is a documented simplification rather than a
+//! limitation in practice.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution.
+// ---------------------------------------------------------------------------
+
+/// Process-wide default worker count, resolved once from the environment.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; `0` = none.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn default_num_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        env_threads("RC_THREADS")
+            .or_else(|| env_threads("RAYON_NUM_THREADS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The number of worker threads parallel iterators will use on this thread:
+/// the innermost [`ThreadPool::install`] scope if one is active, otherwise the
+/// process default (`RC_THREADS` / `RAYON_NUM_THREADS` / available cores).
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed >= 1 {
+        installed
+    } else {
+        default_num_threads()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ThreadPoolBuilder (the subset of rayon's API the tests use).
+// ---------------------------------------------------------------------------
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The vendored pool cannot
+/// actually fail to build; the type exists for rayon API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (environment-derived) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "use the default resolution".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this vendored implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that pins the worker count for closures run via [`install`].
+///
+/// Unlike real rayon no threads are kept alive between calls — workers are
+/// spawned per parallel operation with `std::thread::scope` — but the
+/// observable semantics (worker count inside `install`) match.
+///
+/// [`install`]: ThreadPool::install
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previous install-override even if `op` panics.
+struct InstallGuard {
+    previous: usize,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.previous));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count pinned for all parallel
+    /// iterators invoked (non-nested) inside it.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let resolved = if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        };
+        let _guard = InstallGuard {
+            previous: INSTALLED_THREADS.with(|c| c.replace(resolved)),
+        };
+        op()
+    }
+
+    /// The worker count closures run under this pool will observe.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel execution core.
+// ---------------------------------------------------------------------------
+
+/// Maps `f` over `items` on up to [`current_num_threads`] scoped threads.
+///
+/// The input is cut into contiguous chunks (one per worker) and the chunk
+/// outputs are concatenated in chunk order, so the result is always identical
+/// to `items.into_iter().map(f).collect()` — parallelism changes wall-clock
+/// time, never the answer. A panic in any worker is resumed on the caller.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterator adapters.
+// ---------------------------------------------------------------------------
+
+/// The vendored mirror of rayon's `ParallelIterator`.
+///
+/// Pipelines are built lazily (`map`, `enumerate`, `filter`) and executed by
+/// the consuming methods (`collect`, `sum`, `count`, `for_each`); `map` stages
+/// run on the scoped thread pool, everything else is cheap bookkeeping on the
+/// calling thread.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Executes the pipeline, returning all items in deterministic input
+    /// order. This is the vendored equivalent of rayon's internal `drive`.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs every item with its index (indices follow input order, exactly
+    /// like the sequential `enumerate`).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Keeps only the items for which `predicate` returns `true`.
+    fn filter<P>(self, predicate: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter {
+            base: self,
+            predicate,
+        }
+    }
+
+    /// Executes the pipeline and collects the results (in input order).
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Executes the pipeline and sums the results.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Executes the pipeline and counts the results.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+
+    /// Runs `f` on every item in parallel (for side effects).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).run();
+    }
+}
+
+/// Lazy `map` stage; see [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+/// Lazy `enumerate` stage; see [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+{
+    type Item = (usize, B::Item);
+
+    fn run(self) -> Vec<(usize, B::Item)> {
+        self.base.run().into_iter().enumerate().collect()
+    }
+}
+
+/// Lazy `filter` stage; see [`ParallelIterator::filter`].
+pub struct Filter<B, P> {
+    base: B,
+    predicate: P,
+}
+
+impl<B, P> ParallelIterator for Filter<B, P>
+where
+    B: ParallelIterator,
+    P: Fn(&B::Item) -> bool + Sync + Send,
+{
+    type Item = B::Item;
+
+    fn run(self) -> Vec<B::Item> {
+        let mut items = self.base.run();
+        items.retain(|item| (self.predicate)(item));
+        items
+    }
+}
+
+/// Leaf iterator over `&T` items of a slice (what `par_iter()` returns).
+pub struct ParSliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn run(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Leaf iterator over owned items (what `into_par_iter()` returns).
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
 /// The traits rayon users import as a blanket `use rayon::prelude::*;`.
 pub mod prelude {
+    pub use super::ParallelIterator;
+    use super::{IntoParIter, ParSliceIter};
+
     /// Mirror of rayon's `IntoParallelRefIterator`, yielding `&T` items.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator produced by [`Self::par_iter`].
-        type Iter: Iterator;
+        /// The parallel iterator produced by [`Self::par_iter`].
+        type Iter: ParallelIterator;
 
-        /// Returns a "parallel" iterator over references — sequentially
-        /// ordered in this vendored stub.
+        /// Returns a parallel iterator over references. Items keep their
+        /// input order in every consuming method.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+        type Iter = ParSliceIter<'data, T>;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParSliceIter { slice: self }
         }
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+        type Iter = ParSliceIter<'data, T>;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParSliceIter { slice: self }
         }
     }
 
     /// Mirror of rayon's `IntoParallelIterator` for owned collections.
     pub trait IntoParallelIterator {
-        /// The iterator produced by [`Self::into_par_iter`].
-        type Iter: Iterator;
+        /// The parallel iterator produced by [`Self::into_par_iter`].
+        type Iter: ParallelIterator;
 
-        /// Consumes the collection into a "parallel" iterator.
+        /// Consumes the collection into a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
     impl<T: Send> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
+        type Iter = IntoParIter<T>;
 
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            IntoParIter { items: self }
         }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
+        type Iter = IntoParIter<usize>;
 
         fn into_par_iter(self) -> Self::Iter {
-            self
+            IntoParIter {
+                items: self.collect(),
+            }
         }
     }
 }
@@ -67,6 +430,15 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+            .install(f)
+    }
 
     #[test]
     fn par_iter_matches_sequential_map() {
@@ -79,5 +451,103 @@ mod tests {
     fn into_par_iter_consumes() {
         let total: usize = (0..10usize).into_par_iter().sum();
         assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn results_are_in_input_order_for_every_thread_count() {
+        let input: Vec<usize> = (0..1000).collect();
+        let expected: Vec<usize> = input.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got: Vec<usize> =
+                with_threads(threads, || input.par_iter().map(|&x| x * x).collect());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_follow_input_order() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let pairs: Vec<(usize, String)> = with_threads(4, || {
+            items
+                .par_iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.to_string()))
+                .collect()
+        });
+        assert_eq!(
+            pairs,
+            vec![
+                (0, "a".to_string()),
+                (1, "b".to_string()),
+                (2, "c".to_string()),
+                (3, "d".to_string()),
+                (4, "e".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn work_is_actually_distributed_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        with_threads(4, || {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "a 4-thread pool over 64 items must use more than one thread"
+        );
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let odds: Vec<usize> = with_threads(3, || {
+            (0..100usize)
+                .into_par_iter()
+                .filter(|x| x % 2 == 1)
+                .collect()
+        });
+        assert_eq!(odds.len(), 50);
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn count_and_sum_agree_with_sequential() {
+        let n: usize = with_threads(8, || (0..500usize).into_par_iter().count());
+        assert_eq!(n, 500);
+        let s: usize = with_threads(8, || (0..500usize).into_par_iter().map(|x| x + 1).sum());
+        assert_eq!(s, (1..=500).sum::<usize>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic propagates")]
+    fn worker_panics_propagate_to_the_caller() {
+        with_threads(4, || {
+            (0..16usize).into_par_iter().for_each(|i| {
+                if i == 7 {
+                    panic!("worker panic propagates");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }
