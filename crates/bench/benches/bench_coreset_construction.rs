@@ -7,7 +7,7 @@ use coresets::CoresetParams;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph::gen::er::gnp;
 use graph::partition::EdgePartition;
-use graph::Graph;
+use graph::{Graph, GraphRef};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -28,7 +28,7 @@ fn bench_matching_coreset(c: &mut Criterion) {
                 let mut rng = coresets::machine_rng(7, 0);
                 black_box(
                     MaximumMatchingCoreset::new()
-                        .build(piece, &params, 0, &mut rng)
+                        .build(piece.as_view(), &params, 0, &mut rng)
                         .m(),
                 )
             });
@@ -46,7 +46,7 @@ fn bench_vc_coreset(c: &mut Criterion) {
                 let mut rng = coresets::machine_rng(7, 0);
                 black_box(
                     PeelingVcCoreset::new()
-                        .build(piece, &params, 0, &mut rng)
+                        .build(piece.as_view(), &params, 0, &mut rng)
                         .size(),
                 )
             });

@@ -9,7 +9,7 @@ use coresets::greedy_match::greedy_match;
 use coresets::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
 use coresets::CoresetParams;
 use graph::gen::bipartite::planted_matching_bipartite;
-use graph::partition::EdgePartition;
+use graph::partition::PartitionedGraph;
 use graph::Graph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -31,11 +31,11 @@ fn main() {
     let opt = planted.len(); // perfect matching certifies MM(G) = side
     let per_step_target = opt as f64 / k as f64;
 
-    let partition = EdgePartition::random(&g, k, &mut rng).expect("k >= 1");
+    let partition = PartitionedGraph::random(&g, k, &mut rng).expect("k >= 1");
     let params = CoresetParams::new(g.n(), k);
     let coresets: Vec<Graph> = partition
-        .pieces()
-        .iter()
+        .views()
+        .into_iter()
         .enumerate()
         .map(|(i, p)| {
             let mut mrng = coresets::machine_rng(trial_seed(EXP_ID, 0), i);

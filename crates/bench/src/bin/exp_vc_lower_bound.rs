@@ -12,7 +12,7 @@ use coresets::compose::compose_vertex_cover;
 use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
 use coresets::CoresetParams;
 use graph::gen::hard::d_vc;
-use graph::partition::EdgePartition;
+use graph::partition::PartitionedGraph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -59,11 +59,11 @@ fn main() {
                 let g = inst.graph.to_graph();
                 opt_ub = inst.vc_upper_bound();
 
-                let partition = EdgePartition::random(&g, k, &mut rng).expect("k >= 1");
+                let partition = PartitionedGraph::random(&g, k, &mut rng).expect("k >= 1");
                 let params = CoresetParams::new(g.n(), k);
                 let outputs: Vec<VcCoresetOutput> = partition
-                    .pieces()
-                    .iter()
+                    .views()
+                    .into_iter()
                     .enumerate()
                     .map(|(i, piece)| {
                         let mut mrng = coresets::machine_rng(seed, i);

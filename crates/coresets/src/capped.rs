@@ -12,7 +12,7 @@
 use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
 use crate::params::CoresetParams;
 use crate::vc_coreset::VcCoresetOutput;
-use graph::Graph;
+use graph::{Graph, GraphView};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -38,7 +38,7 @@ impl CappedMatchingCoreset {
 impl MatchingCoresetBuilder for CappedMatchingCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         params: &CoresetParams,
         machine: usize,
         rng: &mut ChaCha8Rng,
@@ -61,7 +61,8 @@ pub fn cap_matching_coreset<R: Rng + ?Sized>(coreset: &Graph, cap: usize, rng: &
     let mut edges = coreset.edges().to_vec();
     edges.shuffle(rng);
     edges.truncate(cap);
-    Graph::from_edges(coreset.n(), edges).expect("capped edges come from the coreset")
+    // A subset of a simple graph's edges is simple; keep the shuffled order.
+    Graph::from_edges_unchecked(coreset.n(), edges)
 }
 
 /// Caps a vertex-cover coreset at a total size of `cap` (fixed vertices count
@@ -83,8 +84,7 @@ pub fn cap_vc_coreset<R: Rng + ?Sized>(
     edges.truncate(remaining);
     VcCoresetOutput {
         fixed_vertices: fixed,
-        residual: Graph::from_edges(output.residual.n(), edges)
-            .expect("capped edges come from the residual"),
+        residual: Graph::from_edges_unchecked(output.residual.n(), edges),
     }
 }
 

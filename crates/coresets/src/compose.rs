@@ -58,6 +58,7 @@ mod tests {
     use crate::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder};
     use graph::gen::er::gnp;
     use graph::partition::EdgePartition;
+    use graph::GraphRef;
     use matching::maximum::maximum_matching;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -79,7 +80,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| {
                 MaximumMatchingCoreset::new().build(
-                    p,
+                    p.as_view(),
                     &params,
                     i,
                     &mut crate::streams::machine_rng(0, i),
@@ -106,7 +107,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| {
                 MaximumMatchingCoreset::new().build(
-                    p,
+                    p.as_view(),
                     &params,
                     i,
                     &mut crate::streams::machine_rng(0, i),
@@ -137,7 +138,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                PeelingVcCoreset::new().build(p, &params, i, &mut crate::streams::machine_rng(0, i))
+                PeelingVcCoreset::new().build(
+                    p.as_view(),
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(0, i),
+                )
             })
             .collect();
         let cover = compose_vertex_cover(&outputs);

@@ -63,6 +63,7 @@ mod tests {
     use graph::gen::bipartite::planted_matching_bipartite;
     use graph::gen::er::gnp;
     use graph::partition::EdgePartition;
+    use graph::GraphRef;
     use matching::maximum::maximum_matching;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -84,7 +85,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| {
                 MaximumMatchingCoreset::new().build(
-                    p,
+                    p.as_view(),
                     &params,
                     i,
                     &mut crate::streams::machine_rng(0, i),
@@ -118,7 +119,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, p)| {
                     MaximumMatchingCoreset::new().build(
-                        p,
+                        p.as_view(),
                         &params,
                         i,
                         &mut crate::streams::machine_rng(0, i),
@@ -151,7 +152,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| {
                 MaximumMatchingCoreset::new().build(
-                    p,
+                    p.as_view(),
                     &params,
                     i,
                     &mut crate::streams::machine_rng(0, i),

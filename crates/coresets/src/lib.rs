@@ -20,7 +20,7 @@
 //! * [`vc_coreset`] — the peeling coreset `VC-Coreset` (Theorem 2), the
 //!   local-minimum-vertex-cover negative control, and the vertex-grouping
 //!   α-approximation variant (Remark 5.8).
-//! * [`greedy_match`] — the `GreedyMatch` combining process used by the
+//! * [`greedy_match`](mod@greedy_match) — the `GreedyMatch` combining process used by the
 //!   analysis of Theorem 1 (Lemma 3.1/3.2), exposed so experiment E10 can
 //!   trace its per-step growth.
 //! * [`compose`] — coordinator-side composition: union the coresets and solve.

@@ -11,7 +11,7 @@
 //!   α-approximation with total communication `Õ(nk/α²)`.
 
 use crate::params::CoresetParams;
-use graph::{Edge, Graph};
+use graph::{Csr, Edge, Graph, GraphView};
 use matching::greedy::{maximal_matching, maximal_matching_by_key};
 use matching::maximum::{maximum_matching_with, MaximumMatchingAlgorithm};
 use rand_chacha::ChaCha8Rng;
@@ -21,15 +21,17 @@ use rand_chacha::ChaCha8Rng;
 pub trait MatchingCoresetBuilder: Send + Sync {
     /// Builds the coreset subgraph of `piece`.
     ///
-    /// `params` carries the global `n` and `k`; `machine` is this machine's
-    /// index. `rng` is this machine's **private** random stream, derived by
-    /// the protocol runner from `(seed, machine)` via
-    /// [`crate::streams::machine_rng`] *before* the parallel fan-out, so a
-    /// builder's output depends only on its inputs — never on thread count or
-    /// scheduling. Deterministic builders simply ignore it.
+    /// `piece` is a **zero-copy view** into the run's partition arena
+    /// ([`graph::PartitionedGraph`]) — builders never receive (or clone) an
+    /// owned per-machine graph. `params` carries the global `n` and `k`;
+    /// `machine` is this machine's index. `rng` is this machine's **private**
+    /// random stream, derived by the protocol runner from `(seed, machine)`
+    /// via [`crate::streams::machine_rng`] *before* the parallel fan-out, so
+    /// a builder's output depends only on its inputs — never on thread count
+    /// or scheduling. Deterministic builders simply ignore it.
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         params: &CoresetParams,
         machine: usize,
         rng: &mut ChaCha8Rng,
@@ -65,13 +67,14 @@ impl MaximumMatchingCoreset {
 impl MatchingCoresetBuilder for MaximumMatchingCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         _params: &CoresetParams,
         _machine: usize,
         _rng: &mut ChaCha8Rng,
     ) -> Graph {
-        let m = maximum_matching_with(piece, self.algorithm);
-        Graph::from_edges(piece.n(), m.into_edges()).expect("matching edges come from the piece")
+        let m = maximum_matching_with(&piece, self.algorithm);
+        // A matching is trivially simple; wrap it without a validation pass.
+        Graph::from_edges_unchecked(piece.n(), m.into_edges())
     }
 
     fn name(&self) -> &'static str {
@@ -110,7 +113,7 @@ impl MaximalMatchingCoreset {
 impl MatchingCoresetBuilder for MaximalMatchingCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         _params: &CoresetParams,
         _machine: usize,
         _rng: &mut ChaCha8Rng,
@@ -118,11 +121,11 @@ impl MatchingCoresetBuilder for MaximalMatchingCoreset {
         let m = if self.adversarial_prefer_high_ids {
             // Sort key is descending in the larger endpoint: trap vertices sit
             // at the top of the id range in the trap instance.
-            maximal_matching_by_key(piece, |e: &Edge| std::cmp::Reverse(e.v))
+            maximal_matching_by_key(&piece, |e: &Edge| std::cmp::Reverse(e.v))
         } else {
-            maximal_matching(piece)
+            maximal_matching(&piece)
         };
-        Graph::from_edges(piece.n(), m.into_edges()).expect("matching edges come from the piece")
+        Graph::from_edges_unchecked(piece.n(), m.into_edges())
     }
 
     fn name(&self) -> &'static str {
@@ -163,12 +166,12 @@ impl AvoidingMaximalMatchingCoreset {
 impl MatchingCoresetBuilder for AvoidingMaximalMatchingCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         _params: &CoresetParams,
         _machine: usize,
         _rng: &mut ChaCha8Rng,
     ) -> Graph {
-        let adj = piece.adjacency();
+        let adj = Csr::from_ref(&piece);
         let mut matched = vec![false; piece.n()];
         let mut chosen: Vec<Edge> = Vec::new();
 
@@ -216,7 +219,7 @@ impl MatchingCoresetBuilder for AvoidingMaximalMatchingCoreset {
             }
         }
 
-        Graph::from_edges(piece.n(), chosen).expect("chosen edges come from the piece")
+        Graph::from_edges_unchecked(piece.n(), chosen)
     }
 
     fn name(&self) -> &'static str {
@@ -257,13 +260,13 @@ impl SubsampledMatchingCoreset {
 impl MatchingCoresetBuilder for SubsampledMatchingCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         _params: &CoresetParams,
         _machine: usize,
         rng: &mut ChaCha8Rng,
     ) -> Graph {
         use rand::Rng;
-        let m = maximum_matching_with(piece, self.algorithm);
+        let m = maximum_matching_with(&piece, self.algorithm);
         // The subsampling consumes this machine's private stream: independent
         // across machines, reproducible for a fixed seed, and identical no
         // matter how the machines are scheduled onto threads.
@@ -273,7 +276,7 @@ impl MatchingCoresetBuilder for SubsampledMatchingCoreset {
             .into_iter()
             .filter(|_| rng.gen_bool(keep_p))
             .collect();
-        Graph::from_edges(piece.n(), kept).expect("matching edges come from the piece")
+        Graph::from_edges_unchecked(piece.n(), kept)
     }
 
     fn name(&self) -> &'static str {
@@ -286,6 +289,7 @@ mod tests {
     use super::*;
     use graph::gen::er::gnp;
     use graph::partition::EdgePartition;
+    use graph::GraphRef;
     use matching::matching::Matching;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -309,7 +313,8 @@ mod tests {
         let g = gnp(120, 0.05, &mut r);
         let part = EdgePartition::random(&g, 4, &mut r).unwrap();
         let piece = &part.pieces()[0];
-        let coreset = MaximumMatchingCoreset::new().build(piece, &params(120, 4), 0, &mut mrng(0));
+        let coreset =
+            MaximumMatchingCoreset::new().build(piece.as_view(), &params(120, 4), 0, &mut mrng(0));
         // The coreset is a subgraph of the piece and forms a matching.
         let piece_edges: std::collections::HashSet<_> = piece.edges().iter().collect();
         assert!(coreset.edges().iter().all(|e| piece_edges.contains(e)));
@@ -323,7 +328,8 @@ mod tests {
     fn coreset_size_is_at_most_n_over_2() {
         let mut r = rng(2);
         let g = gnp(200, 0.1, &mut r);
-        let coreset = MaximumMatchingCoreset::new().build(&g, &params(200, 1), 0, &mut mrng(0));
+        let coreset =
+            MaximumMatchingCoreset::new().build(g.as_view(), &params(200, 1), 0, &mut mrng(0));
         assert!(coreset.m() <= 100, "a matching has at most n/2 edges");
     }
 
@@ -331,7 +337,8 @@ mod tests {
     fn maximal_coreset_is_maximal_in_the_piece() {
         let mut r = rng(3);
         let g = gnp(100, 0.06, &mut r);
-        let coreset = MaximalMatchingCoreset::new().build(&g, &params(100, 1), 0, &mut mrng(0));
+        let coreset =
+            MaximalMatchingCoreset::new().build(g.as_view(), &params(100, 1), 0, &mut mrng(0));
         let m = Matching::try_from_edges(coreset.edges().to_vec()).unwrap();
         assert!(m.is_maximal_in(&g));
     }
@@ -340,8 +347,12 @@ mod tests {
     fn adversarial_order_prefers_high_ids() {
         // Path 0-1-2 plus edge 1-3: adversarial prefers (1,3) over (0,1)/(1,2).
         let g = Graph::from_pairs(4, vec![(0, 1), (1, 2), (1, 3)]).unwrap();
-        let coreset =
-            MaximalMatchingCoreset::adversarial().build(&g, &params(4, 1), 0, &mut mrng(0));
+        let coreset = MaximalMatchingCoreset::adversarial().build(
+            g.as_view(),
+            &params(4, 1),
+            0,
+            &mut mrng(0),
+        );
         assert!(coreset.has_edge(1, 3));
     }
 
@@ -349,8 +360,14 @@ mod tests {
     fn subsampled_coreset_is_smaller() {
         let mut r = rng(4);
         let g = gnp(600, 0.02, &mut r);
-        let full = MaximumMatchingCoreset::new().build(&g, &params(600, 1), 0, &mut mrng(0));
-        let sub = SubsampledMatchingCoreset::new(4.0).build(&g, &params(600, 1), 0, &mut mrng(0));
+        let full =
+            MaximumMatchingCoreset::new().build(g.as_view(), &params(600, 1), 0, &mut mrng(0));
+        let sub = SubsampledMatchingCoreset::new(4.0).build(
+            g.as_view(),
+            &params(600, 1),
+            0,
+            &mut mrng(0),
+        );
         assert!(sub.m() < full.m());
         // Expected to keep about 1/4 of the edges; allow wide slack.
         assert!(sub.m() as f64 > full.m() as f64 * 0.05);
@@ -361,8 +378,14 @@ mod tests {
     fn subsampled_alpha_one_keeps_everything() {
         let mut r = rng(5);
         let g = gnp(100, 0.05, &mut r);
-        let full = MaximumMatchingCoreset::new().build(&g, &params(100, 1), 0, &mut mrng(0));
-        let sub = SubsampledMatchingCoreset::new(1.0).build(&g, &params(100, 1), 0, &mut mrng(0));
+        let full =
+            MaximumMatchingCoreset::new().build(g.as_view(), &params(100, 1), 0, &mut mrng(0));
+        let sub = SubsampledMatchingCoreset::new(1.0).build(
+            g.as_view(),
+            &params(100, 1),
+            0,
+            &mut mrng(0),
+        );
         assert_eq!(full.m(), sub.m());
     }
 
@@ -390,13 +413,13 @@ mod tests {
     fn empty_piece_produces_empty_coreset() {
         let g = Graph::empty(10);
         assert!(MaximumMatchingCoreset::new()
-            .build(&g, &params(10, 2), 0, &mut mrng(0))
+            .build(g.as_view(), &params(10, 2), 0, &mut mrng(0))
             .is_empty());
         assert!(MaximalMatchingCoreset::new()
-            .build(&g, &params(10, 2), 0, &mut mrng(0))
+            .build(g.as_view(), &params(10, 2), 0, &mut mrng(0))
             .is_empty());
         assert!(SubsampledMatchingCoreset::new(2.0)
-            .build(&g, &params(10, 2), 0, &mut mrng(0))
+            .build(g.as_view(), &params(10, 2), 0, &mut mrng(0))
             .is_empty());
     }
 }

@@ -1,6 +1,12 @@
 //! End-to-end runners: random partition → per-machine coresets (on parallel
 //! OS threads) → coordinator composition.
 //!
+//! The partition lives in a single [`graph::PartitionedGraph`] edge arena:
+//! one machine-sorted copy of the edge set whose per-machine pieces are
+//! zero-copy [`graph::GraphView`]s. A full run therefore performs exactly
+//! one edge permutation and **zero** per-machine graph clones (experiment
+//! E12 pins this down via `graph::metrics`).
+//!
 //! These are the entry points most applications and examples use. They model
 //! the full simultaneous protocol of the paper on a single host: the `k`
 //! "machines" build their coresets concurrently on a scoped pool of real
@@ -21,8 +27,8 @@ use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
 use crate::params::CoresetParams;
 use crate::streams::machine_jobs;
 use crate::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
-use graph::partition::EdgePartition;
-use graph::{Graph, GraphError};
+use graph::partition::PartitionedGraph;
+use graph::{Graph, GraphError, GraphView};
 use matching::matching::Matching;
 use matching::maximum::MaximumMatchingAlgorithm;
 use rand::SeedableRng;
@@ -109,23 +115,31 @@ impl<B: MatchingCoresetBuilder> DistributedMatching<B> {
     /// threads; see the module docs for the determinism guarantee.
     pub fn run(&self, g: &Graph, seed: u64) -> Result<MatchingRunResult, GraphError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let partition = EdgePartition::random(g, self.k, &mut rng)?;
-        Ok(self.run_on_partition(g.n(), partition.pieces(), seed))
+        // One edge permutation into the arena; pieces are zero-copy views.
+        let partition = PartitionedGraph::random(g, self.k, &mut rng)?;
+        Ok(self.run_on_partition(g.n(), &partition.views(), seed))
     }
 
-    /// Runs the protocol on an existing partition (useful when the caller
-    /// wants a non-random partition for comparison experiments). `seed`
-    /// derives each machine's private RNG stream.
-    pub fn run_on_partition(&self, n: usize, pieces: &[Graph], seed: u64) -> MatchingRunResult {
+    /// Runs the protocol on an existing partition, given as zero-copy views
+    /// (an arena's [`PartitionedGraph::views`], or [`graph::views_of`] over
+    /// owned pieces — useful when the caller wants a non-random partition for
+    /// comparison experiments). `seed` derives each machine's private RNG
+    /// stream.
+    pub fn run_on_partition(
+        &self,
+        n: usize,
+        pieces: &[GraphView<'_>],
+        seed: u64,
+    ) -> MatchingRunResult {
         let params = CoresetParams::new(n, pieces.len().max(1));
         // All randomness is fixed here, before the fan-out: machine i's
         // stream is a pure function of (seed, i).
         let coresets: Vec<Graph> = machine_jobs(pieces, seed)
             .into_par_iter()
-            .map(|(i, piece, mut rng)| self.builder.build(piece, &params, i, &mut rng))
+            .map(|(i, piece, mut rng)| self.builder.build(*piece, &params, i, &mut rng))
             .collect();
         let coreset_sizes = coresets.iter().map(Graph::m).collect();
-        let piece_sizes = pieces.iter().map(Graph::m).collect();
+        let piece_sizes = pieces.iter().map(GraphView::m).collect();
         let matching = solve_composed_matching(&coresets, self.coordinator_algorithm);
         MatchingRunResult {
             matching,
@@ -164,20 +178,26 @@ impl<B: VcCoresetBuilder> DistributedVertexCover<B> {
     /// threads; see the module docs for the determinism guarantee.
     pub fn run(&self, g: &Graph, seed: u64) -> Result<VertexCoverRunResult, GraphError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let partition = EdgePartition::random(g, self.k, &mut rng)?;
-        Ok(self.run_on_partition(g.n(), partition.pieces(), seed))
+        // One edge permutation into the arena; pieces are zero-copy views.
+        let partition = PartitionedGraph::random(g, self.k, &mut rng)?;
+        Ok(self.run_on_partition(g.n(), &partition.views(), seed))
     }
 
-    /// Runs the protocol on an existing partition. `seed` derives each
-    /// machine's private RNG stream.
-    pub fn run_on_partition(&self, n: usize, pieces: &[Graph], seed: u64) -> VertexCoverRunResult {
+    /// Runs the protocol on an existing partition, given as zero-copy views.
+    /// `seed` derives each machine's private RNG stream.
+    pub fn run_on_partition(
+        &self,
+        n: usize,
+        pieces: &[GraphView<'_>],
+        seed: u64,
+    ) -> VertexCoverRunResult {
         let params = CoresetParams::new(n, pieces.len().max(1));
         let outputs: Vec<VcCoresetOutput> = machine_jobs(pieces, seed)
             .into_par_iter()
-            .map(|(i, piece, mut rng)| self.builder.build(piece, &params, i, &mut rng))
+            .map(|(i, piece, mut rng)| self.builder.build(*piece, &params, i, &mut rng))
             .collect();
         let coreset_sizes = outputs.iter().map(VcCoresetOutput::size).collect();
-        let piece_sizes = pieces.iter().map(Graph::m).collect();
+        let piece_sizes = pieces.iter().map(GraphView::m).collect();
         let cover = compose_vertex_cover(&outputs);
         VertexCoverRunResult {
             cover,

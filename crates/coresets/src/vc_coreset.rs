@@ -12,7 +12,7 @@
 //!   expand groups back; an `α`-approximation with `Õ(nk/α)` communication.
 
 use crate::params::CoresetParams;
-use graph::{Graph, VertexId};
+use graph::{Graph, GraphView, VertexId};
 use rand_chacha::ChaCha8Rng;
 use vertexcover::approx::two_approx_cover;
 use vertexcover::peeling::peel_with_thresholds;
@@ -44,12 +44,14 @@ impl VcCoresetOutput {
 pub trait VcCoresetBuilder: Send + Sync {
     /// Builds the coreset of `piece`.
     ///
-    /// `rng` is this machine's private stream, derived from `(seed, machine)`
-    /// by the protocol runner before the parallel fan-out (see
-    /// [`crate::streams::machine_rng`]); deterministic builders ignore it.
+    /// `piece` is a zero-copy view into the run's partition arena — builders
+    /// never receive an owned per-machine graph. `rng` is this machine's
+    /// private stream, derived from `(seed, machine)` by the protocol runner
+    /// before the parallel fan-out (see [`crate::streams::machine_rng`]);
+    /// deterministic builders ignore it.
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         params: &CoresetParams,
         machine: usize,
         rng: &mut ChaCha8Rng,
@@ -73,13 +75,13 @@ impl PeelingVcCoreset {
 impl VcCoresetBuilder for PeelingVcCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         params: &CoresetParams,
         _machine: usize,
         _rng: &mut ChaCha8Rng,
     ) -> VcCoresetOutput {
         let schedule = params.peeling_schedule();
-        let outcome = peel_with_thresholds(piece, &schedule);
+        let outcome = peel_with_thresholds(&piece, &schedule);
         VcCoresetOutput {
             fixed_vertices: outcome.peeled_per_round.into_iter().flatten().collect(),
             residual: outcome.residual,
@@ -120,7 +122,7 @@ impl LocalCoverCoreset {
 impl VcCoresetBuilder for LocalCoverCoreset {
     fn build(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         _params: &CoresetParams,
         _machine: usize,
         _rng: &mut ChaCha8Rng,
@@ -139,7 +141,7 @@ impl VcCoresetBuilder for LocalCoverCoreset {
             }
             cover
         } else {
-            two_approx_cover(piece).sorted_vertices()
+            two_approx_cover(&piece).sorted_vertices()
         };
         VcCoresetOutput {
             fixed_vertices,
@@ -200,7 +202,7 @@ impl GroupedVcCoreset {
 
     /// Contracts a graph: every vertex is replaced by its group; self-loops
     /// (edges inside a group) are dropped and parallel edges are merged.
-    pub fn contract(&self, g: &Graph) -> Graph {
+    pub fn contract(&self, g: GraphView<'_>) -> Graph {
         let cn = self.contracted_n(g.n());
         let pairs = g
             .edges()
@@ -235,14 +237,16 @@ impl GroupedVcCoreset {
     /// contracted representation.
     pub fn build_contracted(
         &self,
-        piece: &Graph,
+        piece: GraphView<'_>,
         params: &CoresetParams,
         machine: usize,
         rng: &mut ChaCha8Rng,
     ) -> VcCoresetOutput {
+        use graph::GraphRef;
         let contracted = self.contract(piece);
         let contracted_params = CoresetParams::new(self.contracted_n(params.n), params.k);
-        let mut out = PeelingVcCoreset::new().build(&contracted, &contracted_params, machine, rng);
+        let mut out =
+            PeelingVcCoreset::new().build(contracted.as_view(), &contracted_params, machine, rng);
 
         // Edges that fall entirely inside a group contract to self-loops; in
         // the multigraph view of Remark 5.8 a self-loop forces its supervertex
@@ -274,7 +278,7 @@ impl GroupedVcCoreset {
     /// communication in experiment E7.
     pub fn run_protocol(
         &self,
-        pieces: &[Graph],
+        pieces: &[GraphView<'_>],
         params: &CoresetParams,
         seed: u64,
     ) -> (Vec<VertexId>, Vec<usize>) {
@@ -283,7 +287,7 @@ impl GroupedVcCoreset {
         // streams fixed before the parallel stage, outputs in machine order.
         let outputs: Vec<VcCoresetOutput> = crate::streams::machine_jobs(pieces, seed)
             .into_par_iter()
-            .map(|(i, p, mut rng)| self.build_contracted(p, params, i, &mut rng))
+            .map(|(i, p, mut rng)| self.build_contracted(*p, params, i, &mut rng))
             .collect();
         let sizes: Vec<usize> = outputs.iter().map(VcCoresetOutput::size).collect();
 
@@ -311,6 +315,7 @@ mod tests {
     use graph::gen::er::gnp;
     use graph::gen::structured::{star, star_forest};
     use graph::partition::EdgePartition;
+    use graph::GraphRef;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use vertexcover::VertexCover;
@@ -354,7 +359,7 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i, &mut mrng(i)))
+            .map(|(i, p)| PeelingVcCoreset::new().build(p.as_view(), &params, i, &mut mrng(i)))
             .collect();
         let cover = compose_and_check(&g, &outputs);
         // O(log n) approximation with a generous constant: the optimum is at
@@ -370,7 +375,7 @@ mod tests {
         let n = 2000;
         let g = gnp(n, 0.05, &mut r);
         let params = CoresetParams::new(n, 1);
-        let out = PeelingVcCoreset::new().build(&g, &params, 0, &mut mrng(0));
+        let out = PeelingVcCoreset::new().build(g.as_view(), &params, 0, &mut mrng(0));
         let last_threshold = *params.peeling_schedule().last().unwrap_or(&usize::MAX);
         assert!(
             out.residual.max_degree() <= last_threshold.max(8 * (n as f64).log2() as usize),
@@ -389,7 +394,7 @@ mod tests {
         // the whole piece is forwarded (still only O(n log n) edges).
         let g = star(20);
         let params = CoresetParams::new(21, 8);
-        let out = PeelingVcCoreset::new().build(&g, &params, 0, &mut mrng(0));
+        let out = PeelingVcCoreset::new().build(g.as_view(), &params, 0, &mut mrng(0));
         assert!(out.fixed_vertices.is_empty());
         assert_eq!(out.residual.m(), g.m());
     }
@@ -407,7 +412,7 @@ mod tests {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| adversarial.build(p, &params, i, &mut mrng(i)))
+            .map(|(i, p)| adversarial.build(p.as_view(), &params, i, &mut mrng(i)))
             .collect();
         // The union of local covers does cover the graph...
         let cover = compose_and_check(&g, &outputs);
@@ -430,7 +435,7 @@ mod tests {
         assert_eq!(grouped.expand(&[2], 10), vec![8, 9]);
 
         let g = star(15); // centre 0, leaves 1..=15
-        let contracted = grouped.contract(&g);
+        let contracted = grouped.contract(g.as_view());
         assert_eq!(contracted.n(), 4);
         // Edges inside group 0 (centre to leaves 1..3) become self-loops and vanish.
         assert!(contracted.m() <= g.m());
@@ -455,7 +460,8 @@ mod tests {
         let params = CoresetParams::new(n, k);
 
         let grouped = GroupedVcCoreset::new(3);
-        let (cover_vertices, grouped_sizes) = grouped.run_protocol(part.pieces(), &params, 4);
+        let (cover_vertices, grouped_sizes) =
+            grouped.run_protocol(&graph::views_of(part.pieces()), &params, 4);
         let cover = VertexCover::from_vertices(cover_vertices);
         assert!(
             cover.covers(&g),
@@ -469,7 +475,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| {
                 PeelingVcCoreset::new()
-                    .build(p, &params, i, &mut mrng(i))
+                    .build(p.as_view(), &params, i, &mut mrng(i))
                     .size()
             })
             .collect();
@@ -502,11 +508,11 @@ mod tests {
     fn empty_piece_produces_empty_output() {
         let g = Graph::empty(30);
         let params = CoresetParams::new(30, 3);
-        let out = PeelingVcCoreset::new().build(&g, &params, 0, &mut mrng(0));
+        let out = PeelingVcCoreset::new().build(g.as_view(), &params, 0, &mut mrng(0));
         assert_eq!(out.size(), 0);
-        let out = LocalCoverCoreset::new().build(&g, &params, 0, &mut mrng(0));
+        let out = LocalCoverCoreset::new().build(g.as_view(), &params, 0, &mut mrng(0));
         assert_eq!(out.size(), 0);
-        let out = GroupedVcCoreset::new(2).build_contracted(&g, &params, 0, &mut mrng(0));
+        let out = GroupedVcCoreset::new(2).build_contracted(g.as_view(), &params, 0, &mut mrng(0));
         assert_eq!(out.size(), 0);
     }
 }

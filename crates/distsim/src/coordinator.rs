@@ -25,7 +25,7 @@ use coresets::matching_coreset::MatchingCoresetBuilder;
 use coresets::streams::machine_jobs;
 use coresets::vc_coreset::{VcCoresetBuilder, VcCoresetOutput};
 use coresets::{compose_vertex_cover, solve_composed_matching, CoresetParams};
-use graph::partition::{EdgePartition, PartitionStrategy};
+use graph::partition::{PartitionStrategy, PartitionedGraph};
 use graph::{Graph, GraphError};
 use matching::matching::Matching;
 use matching::maximum::MaximumMatchingAlgorithm;
@@ -71,15 +71,17 @@ impl CoordinatorProtocol {
         seed: u64,
     ) -> Result<SimultaneousRun<Matching>, GraphError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let partition = EdgePartition::new(g, self.k, self.strategy, &mut rng)?;
+        // One edge permutation into the arena; each machine computes on a
+        // zero-copy view of its slice.
+        let partition = PartitionedGraph::new(g, self.k, self.strategy, &mut rng)?;
         let params = CoresetParams::new(g.n(), self.k);
         let model = CostModel::for_n(g.n());
 
         // Machine RNG streams are derived from (seed, machine) before the
         // fan-out; the parallel stage consumes only machine-local state.
-        let coresets: Vec<Graph> = machine_jobs(partition.pieces(), seed)
+        let coresets: Vec<Graph> = machine_jobs(&partition.views(), seed)
             .into_par_iter()
-            .map(|(i, piece, mut rng)| builder.build(piece, &params, i, &mut rng))
+            .map(|(i, piece, mut rng)| builder.build(*piece, &params, i, &mut rng))
             .collect();
 
         let mut communication = CommunicationCost::default();
@@ -90,7 +92,7 @@ impl CoordinatorProtocol {
         Ok(SimultaneousRun {
             answer,
             communication,
-            piece_sizes: partition.pieces().iter().map(Graph::m).collect(),
+            piece_sizes: partition.piece_sizes(),
         })
     }
 
@@ -105,13 +107,13 @@ impl CoordinatorProtocol {
         seed: u64,
     ) -> Result<SimultaneousRun<VertexCover>, GraphError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let partition = EdgePartition::new(g, self.k, self.strategy, &mut rng)?;
+        let partition = PartitionedGraph::new(g, self.k, self.strategy, &mut rng)?;
         let params = CoresetParams::new(g.n(), self.k);
         let model = CostModel::for_n(g.n());
 
-        let outputs: Vec<VcCoresetOutput> = machine_jobs(partition.pieces(), seed)
+        let outputs: Vec<VcCoresetOutput> = machine_jobs(&partition.views(), seed)
             .into_par_iter()
-            .map(|(i, piece, mut rng)| builder.build(piece, &params, i, &mut rng))
+            .map(|(i, piece, mut rng)| builder.build(*piece, &params, i, &mut rng))
             .collect();
 
         let mut communication = CommunicationCost::default();
@@ -122,7 +124,7 @@ impl CoordinatorProtocol {
         Ok(SimultaneousRun {
             answer,
             communication,
-            piece_sizes: partition.pieces().iter().map(Graph::m).collect(),
+            piece_sizes: partition.piece_sizes(),
         })
     }
 }

@@ -20,8 +20,8 @@ use coresets::matching_coreset::MatchingCoresetBuilder;
 use coresets::streams::machine_jobs;
 use coresets::vc_coreset::{VcCoresetBuilder, VcCoresetOutput};
 use coresets::{compose_vertex_cover, solve_composed_matching, CoresetParams};
-use graph::partition::EdgePartition;
-use graph::{Graph, GraphError};
+use graph::partition::PartitionedGraph;
+use graph::{Graph, GraphError, GraphView};
 use matching::matching::Matching;
 use matching::maximum::MaximumMatchingAlgorithm;
 use rand::SeedableRng;
@@ -111,7 +111,7 @@ impl MapReduceSimulator {
             // Per-machine RNG streams are fixed before the round-2 fan-out.
             let coresets: Vec<Graph> = machine_jobs(pieces, machine_seed)
                 .into_par_iter()
-                .map(|(i, p, mut rng)| builder.build(p, params, i, &mut rng))
+                .map(|(i, p, mut rng)| builder.build(*p, params, i, &mut rng))
                 .collect();
             let coreset_words: Vec<u64> = coresets.iter().map(|c| 2 * c.m() as u64).collect();
             let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
@@ -130,7 +130,7 @@ impl MapReduceSimulator {
         self.run_generic(g, seed, |pieces, params, machine_seed| {
             let outputs: Vec<VcCoresetOutput> = machine_jobs(pieces, machine_seed)
                 .into_par_iter()
-                .map(|(i, p, mut rng)| builder.build(p, params, i, &mut rng))
+                .map(|(i, p, mut rng)| builder.build(*p, params, i, &mut rng))
                 .collect();
             let model = CostModel::for_n(params.n);
             let coreset_words: Vec<u64> = outputs
@@ -146,21 +146,22 @@ impl MapReduceSimulator {
         &self,
         g: &Graph,
         seed: u64,
-        solve: impl FnOnce(&[Graph], &CoresetParams, u64) -> (T, Vec<u64>),
+        solve: impl FnOnce(&[GraphView<'_>], &CoresetParams, u64) -> (T, Vec<u64>),
     ) -> Result<MapReduceOutcome<T>, GraphError> {
         let k = self.config.k;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut rounds = Vec::new();
 
-        // Round 1 (shuffle): produce a random k-partition. The memory high
-        // water mark of the round is the largest piece any machine receives
-        // (each machine holds its share of the input plus what it receives;
-        // the received share dominates and is what we report).
-        let partition = EdgePartition::random(g, k, &mut rng)?;
+        // Round 1 (shuffle): produce a random k-partition into the shared
+        // edge arena. The memory high water mark of the round is the largest
+        // piece any machine receives (each machine holds its share of the
+        // input plus what it receives; the received share dominates and is
+        // what we report).
+        let partition = PartitionedGraph::random(g, k, &mut rng)?;
         let max_piece_words = partition
-            .pieces()
+            .piece_sizes()
             .iter()
-            .map(|p| 2 * p.m() as u64)
+            .map(|&m| 2 * m as u64)
             .max()
             .unwrap_or(0);
         if !self.config.input_already_random {
@@ -173,7 +174,7 @@ impl MapReduceSimulator {
         // Round 2: build coresets locally (in parallel, each machine on its
         // own pre-derived RNG stream), send them to machine M, solve there.
         let params = CoresetParams::new(g.n(), k);
-        let (answer, coreset_words) = solve(partition.pieces(), &params, seed);
+        let (answer, coreset_words) = solve(&partition.views(), &params, seed);
         let central_words: u64 = coreset_words.iter().sum();
         rounds.push(RoundStats {
             description: "coresets: build locally, union and solve on the designated machine"

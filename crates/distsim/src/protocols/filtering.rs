@@ -1,5 +1,5 @@
 //! The *filtering* MapReduce baseline (Lattanzi, Moseley, Suri,
-//! Vassilvitskii, SPAA 2011 — reference [46] of the paper).
+//! Vassilvitskii, SPAA 2011 — reference \[46\] of the paper).
 //!
 //! The paper compares the round complexity of its coreset algorithm (2 rounds,
 //! or 1 if the input is pre-randomized) against filtering, which achieves a
@@ -89,7 +89,9 @@ pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> Filterin
         max_sample_edges = max_sample_edges.max(sample.len());
 
         // Maximal matching of the sample on the central machine.
-        let sample_graph = Graph::from_edges(g.n(), sample).expect("sampled edges come from g");
+        // A subset of g's edges is simple; wrap it order-preserving without a
+        // validation pass.
+        let sample_graph = Graph::from_edges_unchecked(g.n(), sample);
         let local = maximal_matching(&sample_graph);
         for e in local.edges() {
             matching.try_add(*e, &mut matched);
@@ -102,7 +104,7 @@ pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> Filterin
         // draws), force progress by processing a memory-sized prefix exactly.
         if local.is_empty() && remaining.len() > memory_edges {
             let prefix: Vec<graph::Edge> = remaining.iter().copied().take(memory_edges).collect();
-            let prefix_graph = Graph::from_edges(g.n(), prefix).expect("prefix edges come from g");
+            let prefix_graph = Graph::from_edges_unchecked(g.n(), prefix);
             for e in maximal_matching(&prefix_graph).edges() {
                 matching.try_add(*e, &mut matched);
             }
@@ -113,7 +115,7 @@ pub fn filtering_matching(g: &Graph, memory_edges: usize, seed: u64) -> Filterin
     // Final round: the leftovers fit in memory; finish exactly.
     rounds += 1;
     max_sample_edges = max_sample_edges.max(remaining.len());
-    let rest = Graph::from_edges(g.n(), remaining).expect("remaining edges come from g");
+    let rest = Graph::from_edges_unchecked(g.n(), remaining);
     for e in maximal_matching(&rest).edges() {
         matching.try_add(*e, &mut matched);
     }

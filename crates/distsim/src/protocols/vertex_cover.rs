@@ -5,7 +5,7 @@ use crate::coordinator::CoordinatorProtocol;
 use crate::report::VertexCoverProtocolReport;
 use coresets::vc_coreset::{GroupedVcCoreset, PeelingVcCoreset, VcCoresetBuilder};
 use coresets::CoresetParams;
-use graph::partition::EdgePartition;
+use graph::partition::PartitionedGraph;
 use graph::{Graph, GraphError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,11 +58,11 @@ pub fn report_grouped_protocol(
     seed: u64,
 ) -> Result<VertexCoverProtocolReport, GraphError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let partition = EdgePartition::random(g, k, &mut rng)?;
+    let partition = PartitionedGraph::random(g, k, &mut rng)?;
     let params = CoresetParams::new(g.n(), k);
     let grouped = GroupedVcCoreset::for_alpha(alpha, g.n());
     let (cover_vertices, contracted_sizes) =
-        grouped.run_protocol(partition.pieces(), &params, seed);
+        grouped.run_protocol(&partition.views(), &params, seed);
     let cover = VertexCover::from_vertices(cover_vertices);
 
     // Contracted messages are measured in the contracted id space.

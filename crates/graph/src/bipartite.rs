@@ -109,6 +109,33 @@ impl BipartiteGraph {
         &self.edges
     }
 
+    /// Flat CSR of the left-side adjacency (`left vertex -> sorted right
+    /// neighbours`), one contiguous allocation instead of `Vec<Vec<_>>`.
+    ///
+    /// This is what Hopcroft–Karp and König traverse; the per-vertex
+    /// neighbour order is identical to [`Self::left_adjacency`].
+    pub fn left_csr(&self) -> LeftCsr {
+        let mut deg = vec![0u32; self.left_n];
+        for &(l, _) in &self.edges {
+            deg[l as usize] += 1;
+        }
+        let mut offsets = vec![0u32; self.left_n + 1];
+        for l in 0..self.left_n {
+            offsets[l + 1] = offsets[l] + deg[l];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; self.edges.len()];
+        for &(l, r) in &self.edges {
+            targets[cursor[l as usize] as usize] = r;
+            cursor[l as usize] += 1;
+        }
+        for l in 0..self.left_n {
+            let (lo, hi) = (offsets[l] as usize, offsets[l + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        LeftCsr { offsets, targets }
+    }
+
     /// Left-side adjacency lists (`left vertex -> sorted right neighbours`).
     pub fn left_adjacency(&self) -> Vec<Vec<VertexId>> {
         let mut adj = vec![Vec::new(); self.left_n];
@@ -184,6 +211,34 @@ impl BipartiteGraph {
     }
 }
 
+/// Compressed left-side adjacency of a [`BipartiteGraph`]: neighbours of left
+/// vertex `l` are `targets[offsets[l] .. offsets[l + 1]]`, sorted.
+#[derive(Debug, Clone)]
+pub struct LeftCsr {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+}
+
+impl LeftCsr {
+    /// Number of left vertices.
+    #[inline]
+    pub fn left_n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Sorted right-side neighbours of left vertex `l`.
+    #[inline]
+    pub fn neighbors(&self, l: usize) -> &[VertexId] {
+        &self.targets[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// Degree of left vertex `l`.
+    #[inline]
+    pub fn degree(&self, l: usize) -> usize {
+        (self.offsets[l + 1] - self.offsets[l]) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +284,18 @@ mod tests {
         assert_eq!(g.right_adjacency(), vec![vec![0, 2], vec![0, 1]]);
         assert_eq!(g.left_degrees(), vec![2, 1, 1]);
         assert_eq!(g.right_degrees(), vec![2, 2]);
+    }
+
+    #[test]
+    fn left_csr_matches_left_adjacency() {
+        let g = small();
+        let csr = g.left_csr();
+        let adj = g.left_adjacency();
+        assert_eq!(csr.left_n(), 3);
+        for (l, expected) in adj.iter().enumerate() {
+            assert_eq!(csr.neighbors(l), expected.as_slice(), "left vertex {l}");
+            assert_eq!(csr.degree(l), expected.len());
+        }
     }
 
     #[test]

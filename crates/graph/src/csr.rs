@@ -5,10 +5,15 @@
 //! is friendlier to the cache than `Vec<Vec<u32>>` (see the Rust Performance
 //! Book's guidance on heap allocations and memory locality).
 
-use crate::edge::VertexId;
+use crate::edge::{Edge, VertexId};
 use crate::graph::Graph;
+use crate::view::{GraphRef, GraphView};
 
 /// Compressed sparse row adjacency structure for an undirected graph.
+///
+/// This is the canonical adjacency representation for traversal: every solver
+/// in the workspace builds one `Csr` per call (from an owned [`Graph`] or a
+/// borrowed [`GraphView`] alike) instead of a `Vec<Vec<VertexId>>`.
 ///
 /// For each vertex `v`, its neighbours are
 /// `targets[offsets[v] .. offsets[v + 1]]`, sorted in increasing order.
@@ -19,11 +24,11 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Builds the CSR view of a graph.
-    pub fn from_graph(g: &Graph) -> Self {
-        let n = g.n();
+    /// Builds the CSR adjacency of `n` vertices over a trusted edge slice —
+    /// the core constructor every representation funnels into.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
         let mut deg = vec![0u32; n];
-        for e in g.edges() {
+        for e in edges {
             deg[e.u as usize] += 1;
             deg[e.v as usize] += 1;
         }
@@ -32,8 +37,8 @@ impl Csr {
             offsets[v + 1] = offsets[v] + deg[v];
         }
         let mut cursor = offsets.clone();
-        let mut targets = vec![0 as VertexId; 2 * g.m()];
-        for e in g.edges() {
+        let mut targets = vec![0 as VertexId; 2 * edges.len()];
+        for e in edges {
             targets[cursor[e.u as usize] as usize] = e.v;
             cursor[e.u as usize] += 1;
             targets[cursor[e.v as usize] as usize] = e.u;
@@ -45,6 +50,17 @@ impl Csr {
             targets[lo..hi].sort_unstable();
         }
         Csr { offsets, targets }
+    }
+
+    /// Builds the CSR view of an owned graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        Self::from_edges(g.n(), g.edges())
+    }
+
+    /// Builds the CSR view of any [`GraphRef`] (owned graph or borrowed
+    /// view).
+    pub fn from_ref<G: GraphRef + ?Sized>(g: &G) -> Self {
+        Self::from_edges(g.n(), g.edges())
     }
 
     /// Number of vertices.
@@ -88,6 +104,12 @@ impl Csr {
 impl From<&Graph> for Csr {
     fn from(g: &Graph) -> Self {
         Csr::from_graph(g)
+    }
+}
+
+impl From<GraphView<'_>> for Csr {
+    fn from(v: GraphView<'_>) -> Self {
+        Csr::from_ref(&v)
     }
 }
 

@@ -4,7 +4,7 @@
 //! * [`bipartite`] — random bipartite graphs, near-regular bipartite graphs
 //!   and planted perfect matchings.
 //! * [`structured`] — paths, cycles, stars, star forests, complete graphs.
-//! * [`rmat`] — R-MAT (Graph500-style) skewed graphs and 2-D grids.
+//! * [`rmat`](mod@rmat) — R-MAT (Graph500-style) skewed graphs and 2-D grids.
 //! * [`powerlaw`] — Chung–Lu graphs with power-law expected degrees.
 //! * [`hard`] — the paper's hard distributions `D_Matching` (Sections 4.1 and
 //!   5.1) and `D_VC` (Sections 4.2 and 5.3), plus the negative-control

@@ -4,7 +4,10 @@
 //! partitioned edge-by-edge across machines, each machine computes on its own
 //! subgraph, and the coordinator unions subgraphs. [`Graph`] therefore stores
 //! the edge list as the primary representation and derives adjacency
-//! structures on demand.
+//! structures on demand. Borrowed access goes through
+//! [`crate::view::GraphView`] (zero-copy) and traversal through
+//! [`crate::csr::Csr`]; see the `view` module docs for the representation
+//! guide.
 
 use crate::edge::{Edge, VertexId};
 use crate::error::GraphError;
@@ -34,13 +37,19 @@ impl Graph {
 
     /// Builds a graph from an iterator of vertex pairs, validating every edge
     /// and silently deduplicating repeated edges.
+    ///
+    /// The resulting edge list is stored in **canonical sorted order**
+    /// (lexicographic by `(u, v)`): deduplication is a sort + `dedup` pass
+    /// rather than a hash set, which is faster and allocation-light for large
+    /// inputs and makes the stored order deterministic regardless of the
+    /// order the pairs arrive in.
     pub fn from_pairs<I>(n: usize, pairs: I) -> Result<Self, GraphError>
     where
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
-        let mut seen = HashSet::new();
-        let mut edges = Vec::new();
-        for (a, b) in pairs {
+        let iter = pairs.into_iter();
+        let mut edges = Vec::with_capacity(iter.size_hint().0);
+        for (a, b) in iter {
             if a == b {
                 return Err(GraphError::SelfLoop { vertex: a });
             }
@@ -50,11 +59,10 @@ impl Graph {
             if b as usize >= n {
                 return Err(GraphError::VertexOutOfRange { vertex: b, n });
             }
-            let e = Edge::new(a, b);
-            if seen.insert(e) {
-                edges.push(e);
-            }
+            edges.push(Edge::new(a, b));
         }
+        edges.sort_unstable();
+        edges.dedup();
         Ok(Graph { n, edges })
     }
 
@@ -66,12 +74,15 @@ impl Graph {
         Self::from_pairs(n, iter.into_iter().map(|e| (e.u, e.v)))
     }
 
-    /// Builds a graph without validation or deduplication.
+    /// Builds a graph without validation or deduplication, preserving the
+    /// given edge order exactly.
     ///
-    /// Intended for trusted internal callers (generators and partitioners
-    /// which already guarantee the invariants). Debug builds still assert the
+    /// Intended for trusted callers that already guarantee the simple-graph
+    /// invariants: generators, partitioners, solvers wrapping their own
+    /// output (a matching is trivially duplicate-free), and
+    /// [`crate::view::GraphView::to_graph`]. Debug builds still assert the
     /// invariants.
-    pub(crate) fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Self {
+    pub fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Self {
         #[cfg(debug_assertions)]
         {
             let mut seen = HashSet::with_capacity(edges.len());
@@ -177,6 +188,12 @@ impl Graph {
     /// This is exactly the coordinator-side operation of the paper: the union
     /// of the coresets `ALG(G^(1)) ∪ ... ∪ ALG(G^(k))`.
     ///
+    /// Unlike the validating constructors, the result keeps **first-occurrence
+    /// order** (machine order, then each input's own order), not canonical
+    /// sorted order — the composition step is defined over the coresets as
+    /// sent, and downstream edge-order-sensitive algorithms (greedy maximal
+    /// matching) rely on it.
+    ///
     /// # Panics
     ///
     /// Panics if the graphs do not all have the same number of vertices.
@@ -187,8 +204,11 @@ impl Graph {
             graphs.iter().all(|g| g.n == n),
             "all graphs in a union must share the vertex set"
         );
-        let mut seen: HashSet<Edge> = HashSet::new();
-        let mut edges = Vec::new();
+        // The total edge count is known up front; preallocate both the seen
+        // set and the output so the union never reallocates mid-build.
+        let total: usize = graphs.iter().map(|g| g.edges.len()).sum();
+        let mut seen: HashSet<Edge> = HashSet::with_capacity(total);
+        let mut edges = Vec::with_capacity(total);
         for g in graphs {
             for &e in &g.edges {
                 if seen.insert(e) {

@@ -10,9 +10,14 @@
 //!   used by the hard instances and by Hopcroft–Karp.
 //! * [`WeightedGraph`] — edge-weighted graphs for the Crouch–Stubbs weighted
 //!   extension.
+//! * [`GraphView`] / [`GraphRef`] — borrowed, zero-copy edge-slice views and
+//!   the representation-agnostic trait every solver in the workspace accepts.
 //! * [`partition`] — the *random k-partitioning* of the edge set that defines
 //!   the model of the paper, plus adversarial partitionings used as negative
-//!   controls.
+//!   controls. [`PartitionedGraph`] stores the partition as a single
+//!   machine-sorted edge arena whose pieces are zero-copy views.
+//! * [`metrics`] — process-wide counters (edges materialized into owned
+//!   per-machine graphs) backing the data-path experiment E12.
 //! * [`gen`] — graph generators: Erdős–Rényi, random bipartite, planted
 //!   matchings, stars, power-law (Chung–Lu), and the paper's hard
 //!   distributions `D_Matching` (Section 4.1/5.1) and `D_VC` (Section 4.2/5.3).
@@ -31,8 +36,10 @@ pub mod error;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod metrics;
 pub mod partition;
 pub mod stats;
+pub mod view;
 pub mod weighted;
 
 pub use bipartite::BipartiteGraph;
@@ -40,7 +47,8 @@ pub use csr::Csr;
 pub use edge::{Edge, VertexId, WeightedEdge};
 pub use error::GraphError;
 pub use graph::{Adjacency, Graph};
-pub use partition::{EdgePartition, PartitionStrategy};
+pub use partition::{EdgePartition, PartitionStrategy, PartitionedGraph};
+pub use view::{views_of, GraphRef, GraphView};
 pub use weighted::WeightedGraph;
 
 /// Convenience prelude re-exporting the items needed by most downstream code.
@@ -50,6 +58,7 @@ pub mod prelude {
     pub use crate::edge::{Edge, VertexId, WeightedEdge};
     pub use crate::error::GraphError;
     pub use crate::graph::{Adjacency, Graph};
-    pub use crate::partition::{EdgePartition, PartitionStrategy};
+    pub use crate::partition::{EdgePartition, PartitionStrategy, PartitionedGraph};
+    pub use crate::view::{views_of, GraphRef, GraphView};
     pub use crate::weighted::WeightedGraph;
 }

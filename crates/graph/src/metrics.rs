@@ -1,0 +1,56 @@
+//! Lightweight allocation-accounting counters for the partitioned data path.
+//!
+//! The zero-copy data path's whole point is that a protocol run copies the
+//! edge set **once** (the machine-sorted permutation inside
+//! [`crate::partition::PartitionedGraph`]) and never again into per-machine
+//! owned graphs. That claim is hard to see from wall-clock alone, so this
+//! module keeps a process-wide counter of *edges materialized into owned
+//! per-machine graphs* — incremented exactly when
+//! [`crate::view::GraphView::to_graph`] copies a piece out of an arena or
+//! when [`crate::partition::EdgePartition`] materializes owned pieces.
+//!
+//! Experiment E12 (`exp_partition_datapath`) resets the counter, runs the old
+//! and the new data path, and records both readings in
+//! `BENCH_datapath.json`: the legacy path reports `m` edges per run, the
+//! arena path reports 0.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PIECE_EDGES_MATERIALIZED: AtomicU64 = AtomicU64::new(0);
+
+/// Records that `edges` edges were copied into an owned per-machine graph.
+#[inline]
+pub fn record_piece_edges_materialized(edges: usize) {
+    PIECE_EDGES_MATERIALIZED.fetch_add(edges as u64, Ordering::Relaxed);
+}
+
+/// Total edges materialized into owned per-machine graphs since the last
+/// [`reset_piece_edges_materialized`] (process-wide).
+#[inline]
+pub fn piece_edges_materialized() -> u64 {
+    PIECE_EDGES_MATERIALIZED.load(Ordering::Relaxed)
+}
+
+/// Resets the materialization counter to zero (benchmarks call this between
+/// phases).
+#[inline]
+pub fn reset_piece_edges_materialized() {
+    PIECE_EDGES_MATERIALIZED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        // The counter is process-wide and tests run concurrently, so assert
+        // only monotone relative movement. Resetting here would race with
+        // other tests' reads; `reset_piece_edges_materialized` is exercised
+        // by the single-process E12 binary instead.
+        let before = piece_edges_materialized();
+        record_piece_edges_materialized(7);
+        record_piece_edges_materialized(3);
+        assert!(piece_edges_materialized() >= before + 10);
+    }
+}

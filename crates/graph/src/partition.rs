@@ -8,15 +8,31 @@
 //!
 //! * [`PartitionStrategy::Adversarial`] — a deterministic partition designed
 //!   to be hard (contiguous chunks of a sorted edge list), modelling the
-//!   adversarial setting of [10] in which Õ(n)-size summaries cannot beat
+//!   adversarial setting of \[10\] in which Õ(n)-size summaries cannot beat
 //!   Θ(n^{1/3})-approximation.
 //! * [`PartitionStrategy::RoundRobin`] — a deterministic but "spread out"
 //!   partition, useful for sanity comparisons.
+//!
+//! Two partition containers are provided:
+//!
+//! * [`PartitionedGraph`] — the **edge arena**: one machine-sorted copy of the
+//!   edge permutation plus `k + 1` offsets (a CSR over machines). Per-machine
+//!   access returns zero-copy [`GraphView`]s; this is what all protocol
+//!   runners use, so a full run copies the edge set exactly once.
+//! * [`EdgePartition`] — owned per-machine [`Graph`]s, materialized from a
+//!   [`PartitionedGraph`]. Retained for callers that need `'static` pieces;
+//!   every materialization is charged to
+//!   [`crate::metrics::piece_edges_materialized`].
+//!
+//! For a fixed RNG the two containers produce byte-identical per-machine edge
+//! sequences (the arena fill is a stable counting sort by machine, exactly
+//! the order the bucketing construction used).
 
 use crate::bipartite::BipartiteGraph;
-use crate::edge::WeightedEdge;
+use crate::edge::{Edge, WeightedEdge};
 use crate::error::GraphError;
 use crate::graph::Graph;
+use crate::view::GraphView;
 use crate::weighted::WeightedGraph;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -36,20 +52,37 @@ pub enum PartitionStrategy {
     RoundRobin,
 }
 
-/// The result of partitioning a graph's edges across `k` machines: one
-/// subgraph per machine, all sharing the original vertex set.
+/// The edge arena of a `k`-partitioned graph: **one** machine-sorted copy of
+/// the edge set plus `k + 1` offsets, i.e. a CSR over machines.
+///
+/// `piece(i)` is the slice `edges[offsets[i] .. offsets[i + 1]]`, returned as
+/// a zero-copy [`GraphView`]; within a machine the edges keep their original
+/// relative order (the fill is a stable counting sort by machine), so the
+/// per-machine sequences are byte-identical to what bucketing into owned
+/// graphs produced.
+///
+/// This is the storage type of the paper's model itself — the partitioned
+/// edge set is the unit of storage, not `k` independent graphs — and the
+/// foundation every protocol runner builds on.
 #[derive(Debug, Clone)]
-pub struct EdgePartition {
-    pieces: Vec<Graph>,
+pub struct PartitionedGraph {
+    n: usize,
     strategy: PartitionStrategy,
+    /// Machine-major edge permutation (machine 0's edges first, each
+    /// machine's run in original input order).
+    edges: Vec<Edge>,
+    /// `offsets.len() == k + 1`; machine `i` owns `edges[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<usize>,
 }
 
-impl EdgePartition {
-    /// Partitions `g` into `k` pieces using `strategy`.
+impl PartitionedGraph {
+    /// Partitions `g` into `k` machine slices using `strategy`, copying the
+    /// edge set exactly once (into the machine-sorted arena).
     ///
-    /// For [`PartitionStrategy::Random`] the supplied RNG drives the
-    /// machine choice of every edge; the other strategies are deterministic
-    /// and ignore the RNG.
+    /// For [`PartitionStrategy::Random`] the supplied RNG drives the machine
+    /// choice of every edge (consuming it exactly as [`EdgePartition::new`]
+    /// always has); the other strategies are deterministic and ignore the
+    /// RNG.
     pub fn new<R: Rng + ?Sized>(
         g: &Graph,
         k: usize,
@@ -59,16 +92,145 @@ impl EdgePartition {
         if k == 0 {
             return Err(GraphError::InvalidMachineCount { k });
         }
-        let assignment = assign_indices(g.m(), k, strategy, |i| canonical_sort_key(g, i), rng);
-        let mut buckets: Vec<Vec<crate::edge::Edge>> = vec![Vec::new(); k];
-        for (idx, &machine) in assignment.iter().enumerate() {
-            buckets[machine].push(g.edges()[idx]);
+        let all = g.edges();
+        let assignment = assign_indices(all.len(), k, strategy, |i| canonical_sort_key(g, i), rng);
+
+        let mut counts = vec![0usize; k];
+        for &machine in &assignment {
+            counts[machine] += 1;
         }
-        let pieces = buckets
-            .into_iter()
-            .map(|edges| Graph::from_edges_unchecked(g.n(), edges))
-            .collect();
-        Ok(EdgePartition { pieces, strategy })
+        let mut offsets = vec![0usize; k + 1];
+        for i in 0..k {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        // Stable counting-sort fill: scanning edges in input order preserves
+        // each machine's relative order. The placeholder is overwritten at
+        // every index because the cursors sweep their machine's range exactly.
+        let mut cursor = offsets.clone();
+        let mut edges = vec![Edge { u: 0, v: 1 }; all.len()];
+        for (idx, &machine) in assignment.iter().enumerate() {
+            edges[cursor[machine]] = all[idx];
+            cursor[machine] += 1;
+        }
+        Ok(PartitionedGraph {
+            n: g.n(),
+            strategy,
+            edges,
+            offsets,
+        })
+    }
+
+    /// Convenience constructor for the paper's model (random partitioning).
+    pub fn random<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Result<Self, GraphError> {
+        Self::new(g, k, PartitionStrategy::Random, rng)
+    }
+
+    /// Number of vertices (shared by every piece).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of edges in the arena (equals `m` of the original graph).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The strategy that produced this partition.
+    #[inline]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The whole machine-sorted edge arena.
+    #[inline]
+    pub fn arena(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Machine `i`'s subgraph as a zero-copy view into the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    #[inline]
+    pub fn piece(&self, i: usize) -> GraphView<'_> {
+        // The arena slice inherits the graph's invariants; skip revalidation.
+        GraphView::new_unchecked(self.n, &self.edges[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Zero-copy views of every machine's subgraph, in machine order.
+    pub fn views(&self) -> Vec<GraphView<'_>> {
+        (0..self.k()).map(|i| self.piece(i)).collect()
+    }
+
+    /// Number of edges each machine received, in machine order.
+    pub fn piece_sizes(&self) -> Vec<usize> {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Total number of edges across all pieces (identical to [`Self::m`];
+    /// kept for parity with [`EdgePartition::total_edges`]).
+    #[inline]
+    pub fn total_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Reassembles the original edge set from the arena, in machine-major
+    /// order (not canonical sorted order — the multiset, not the layout, is
+    /// what reuniting restores). Pieces of a partition are disjoint by
+    /// construction, so this is a single preallocated copy, no dedup pass.
+    pub fn reunite(&self) -> Graph {
+        let g = Graph::from_edges_unchecked(self.n, self.edges.clone());
+        debug_assert_eq!(g.m(), self.total_edges(), "partition must preserve m");
+        g
+    }
+
+    /// Materializes owned per-machine [`Graph`]s (the legacy representation).
+    ///
+    /// Copies every piece out of the arena; the copies are charged to
+    /// [`crate::metrics::piece_edges_materialized`].
+    pub fn materialize(&self) -> EdgePartition {
+        let pieces = (0..self.k()).map(|i| self.piece(i).to_graph()).collect();
+        EdgePartition {
+            pieces,
+            strategy: self.strategy,
+        }
+    }
+}
+
+/// Owned per-machine subgraphs of a partitioned edge set, all sharing the
+/// original vertex set.
+///
+/// Protocol runners operate on [`PartitionedGraph`] views and never build
+/// this; it remains for callers that genuinely need owned pieces (e.g. to
+/// move them across threads with `'static` lifetimes or mutate them).
+#[derive(Debug, Clone)]
+pub struct EdgePartition {
+    pieces: Vec<Graph>,
+    strategy: PartitionStrategy,
+}
+
+impl EdgePartition {
+    /// Partitions `g` into `k` owned pieces using `strategy`.
+    ///
+    /// Equivalent to [`PartitionedGraph::new`] followed by
+    /// [`PartitionedGraph::materialize`] — same RNG consumption, same
+    /// per-machine edge order.
+    pub fn new<R: Rng + ?Sized>(
+        g: &Graph,
+        k: usize,
+        strategy: PartitionStrategy,
+        rng: &mut R,
+    ) -> Result<Self, GraphError> {
+        Ok(PartitionedGraph::new(g, k, strategy, rng)?.materialize())
     }
 
     /// Convenience constructor for the paper's model (random partitioning).
@@ -100,10 +262,21 @@ impl EdgePartition {
         self.pieces.iter().map(Graph::m).sum()
     }
 
-    /// Reassembles the original edge set by unioning all pieces.
+    /// Reassembles the original edge set by concatenating all pieces.
+    ///
+    /// Pieces of a partition are edge-disjoint by construction, so the result
+    /// is built with a single preallocated copy; the debug invariant checks
+    /// that no edge was duplicated or dropped.
     pub fn reunite(&self) -> Graph {
-        let refs: Vec<&Graph> = self.pieces.iter().collect();
-        Graph::union(&refs)
+        let n = self.pieces.first().map_or(0, Graph::n);
+        let total = self.total_edges();
+        let mut edges = Vec::with_capacity(total);
+        for p in &self.pieces {
+            edges.extend_from_slice(p.edges());
+        }
+        let g = Graph::from_edges_unchecked(n, edges);
+        debug_assert_eq!(g.m(), total, "partition must preserve m");
+        g
     }
 }
 
@@ -346,5 +519,84 @@ mod tests {
         let part = EdgePartition::random(&g, 3, &mut rng(8)).unwrap();
         assert_eq!(part.total_edges(), 0);
         assert!(part.pieces().iter().all(Graph::is_empty));
+    }
+
+    #[test]
+    fn arena_views_match_materialized_pieces_exactly() {
+        // The zero-copy arena and the owned pieces must expose byte-identical
+        // per-machine edge sequences for the same RNG draws.
+        let g = gnp(150, 0.06, &mut rng(21));
+        for strategy in [
+            PartitionStrategy::Random,
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Adversarial,
+        ] {
+            let arena = PartitionedGraph::new(&g, 5, strategy, &mut rng(77)).unwrap();
+            let owned = EdgePartition::new(&g, 5, strategy, &mut rng(77)).unwrap();
+            assert_eq!(arena.k(), owned.k());
+            assert_eq!(
+                arena.piece_sizes(),
+                arena.views().iter().map(|v| v.m()).collect::<Vec<_>>()
+            );
+            for (i, piece) in owned.pieces().iter().enumerate() {
+                assert_eq!(
+                    arena.piece(i).edges(),
+                    piece.edges(),
+                    "{strategy:?} piece {i}"
+                );
+                assert_eq!(arena.piece(i).n(), piece.n());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_one_permutation_of_the_input() {
+        let g = gnp(120, 0.08, &mut rng(22));
+        let arena = PartitionedGraph::random(&g, 7, &mut rng(23)).unwrap();
+        assert_eq!(arena.m(), g.m());
+        assert_eq!(arena.total_edges(), g.m());
+        let mut perm: Vec<Edge> = arena.arena().to_vec();
+        perm.sort_unstable();
+        let mut orig: Vec<Edge> = g.edges().to_vec();
+        orig.sort_unstable();
+        assert_eq!(perm, orig, "the arena is a permutation of the edge set");
+        // Reuniting recovers the exact multiset, preallocated and dedup-free.
+        let reunited = arena.reunite();
+        assert_eq!(reunited.n(), g.n());
+        assert_eq!(reunited.m(), g.m());
+    }
+
+    #[test]
+    fn arena_zero_machines_rejected() {
+        let g = gnp(10, 0.3, &mut rng(24));
+        assert!(matches!(
+            PartitionedGraph::random(&g, 0, &mut rng(25)),
+            Err(GraphError::InvalidMachineCount { k: 0 })
+        ));
+    }
+
+    #[test]
+    fn materialize_records_edge_copies() {
+        let g = gnp(80, 0.1, &mut rng(26));
+        let arena = PartitionedGraph::random(&g, 4, &mut rng(27)).unwrap();
+        // The counter is process-wide and tests run concurrently, so only
+        // assert monotone movement attributable to this materialization.
+        let mid = crate::metrics::piece_edges_materialized();
+        let _ = arena.materialize();
+        let after = crate::metrics::piece_edges_materialized();
+        assert!(
+            after - mid >= g.m() as u64,
+            "materializing owned pieces copies every edge"
+        );
+    }
+
+    #[test]
+    fn empty_graph_arena_is_clean() {
+        let g = Graph::empty(6);
+        let arena = PartitionedGraph::random(&g, 3, &mut rng(28)).unwrap();
+        assert_eq!(arena.k(), 3);
+        assert_eq!(arena.m(), 0);
+        assert!(arena.views().iter().all(|v| v.is_empty()));
+        assert_eq!(arena.reunite().m(), 0);
     }
 }

@@ -4,9 +4,9 @@
 use graph::gen::bipartite::{near_regular_bipartite, random_bipartite};
 use graph::gen::er::{gnm, gnp};
 use graph::gen::structured::{complete, cycle, path, star_forest};
-use graph::partition::{partition_bipartite, EdgePartition, PartitionStrategy};
+use graph::partition::{partition_bipartite, EdgePartition, PartitionStrategy, PartitionedGraph};
 use graph::stats::{connected_components, degree_histogram, GraphStats};
-use graph::{Csr, Edge, Graph, WeightedGraph};
+use graph::{Csr, Edge, Graph, GraphRef, WeightedGraph};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -83,6 +83,64 @@ proptest! {
         let mut original: Vec<Edge> = g.edges().to_vec();
         original.sort();
         prop_assert_eq!(all, original);
+    }
+
+    /// The zero-copy arena partition: under every strategy, the pieces are a
+    /// zero-copy reslicing of one edge permutation that reunites to the exact
+    /// original edge multiset, and each view is byte-identical to the
+    /// materialized owned piece.
+    #[test]
+    fn arena_partition_reunites_to_the_exact_multiset(
+        g in arb_gnm(),
+        k in 1usize..10,
+        seed in any::<u64>(),
+        strategy in prop_oneof![
+            Just(PartitionStrategy::Random),
+            Just(PartitionStrategy::RoundRobin),
+            Just(PartitionStrategy::Adversarial),
+        ],
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let arena = PartitionedGraph::new(&g, k, strategy, &mut rng).unwrap();
+        prop_assert_eq!(arena.k(), k);
+        prop_assert_eq!(arena.m(), g.m());
+        prop_assert_eq!(arena.piece_sizes().iter().sum::<usize>(), g.m());
+
+        // Reuniting the arena recovers the exact original edge multiset.
+        let mut reunited: Vec<Edge> = arena.reunite().edges().to_vec();
+        reunited.sort_unstable();
+        let mut original: Vec<Edge> = g.edges().to_vec();
+        original.sort_unstable();
+        prop_assert_eq!(reunited, original);
+
+        // Views and materialized owned pieces agree edge-for-edge, and the
+        // materialized partition reunites to the same multiset.
+        let owned = arena.materialize();
+        for (i, piece) in owned.pieces().iter().enumerate() {
+            prop_assert_eq!(arena.piece(i).edges(), piece.edges());
+            prop_assert_eq!(arena.piece(i).n(), piece.n());
+        }
+        let mut owned_reunited: Vec<Edge> = owned.reunite().edges().to_vec();
+        owned_reunited.sort_unstable();
+        let mut original2: Vec<Edge> = g.edges().to_vec();
+        original2.sort_unstable();
+        prop_assert_eq!(owned_reunited, original2);
+    }
+
+    /// A graph's view exposes exactly the same structure as the graph itself.
+    #[test]
+    fn view_mirrors_owned_graph(g in arb_gnm()) {
+        let v = g.as_view();
+        prop_assert_eq!(v.n(), g.n());
+        prop_assert_eq!(v.m(), g.m());
+        prop_assert_eq!(v.edges(), g.edges());
+        prop_assert_eq!(GraphRef::degrees(&v), g.degrees());
+        let csr_owned = Csr::from_graph(&g);
+        let csr_view = Csr::from_ref(&v);
+        for x in 0..g.n() as u32 {
+            prop_assert_eq!(csr_owned.neighbors(x), csr_view.neighbors(x));
+        }
+        prop_assert_eq!(v.to_graph(), g.clone());
     }
 
     /// Bipartite partitioning preserves edges and sides.
@@ -164,12 +222,20 @@ proptest! {
         prop_assert!(g.total_weight() >= 0.0);
     }
 
-    /// Edge-list serialisation round-trips exactly.
+    /// Edge-list serialisation round-trips the graph exactly up to the
+    /// canonical edge order (`from_pairs` stores edges sorted, so a reparsed
+    /// graph is the canonicalized form of the original).
     #[test]
     fn io_round_trip(g in arb_gnm()) {
         let text = graph::io::to_edge_list(&g);
         let back = graph::io::from_edge_list(&text).unwrap();
-        prop_assert_eq!(back, g);
+        prop_assert_eq!(back.n(), g.n());
+        let mut original: Vec<Edge> = g.edges().to_vec();
+        original.sort_unstable();
+        prop_assert_eq!(back.edges(), original.as_slice());
+        // A canonical graph round-trips exactly.
+        let again = graph::io::from_edge_list(&graph::io::to_edge_list(&back)).unwrap();
+        prop_assert_eq!(again, back);
     }
 }
 

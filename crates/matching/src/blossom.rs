@@ -6,26 +6,28 @@
 //! implementation (BFS from each free vertex, contracting odd cycles via a
 //! `base` array). It is fast enough for pieces with tens of thousands of
 //! edges, which is the regime of the experiments; bipartite inputs should
-//! prefer [`crate::hopcroft_karp`].
+//! prefer [`crate::hopcroft_karp`](mod@crate::hopcroft_karp).
 
 use crate::matching::Matching;
-use graph::{Edge, Graph, VertexId};
+use graph::{Csr, Edge, GraphRef};
 use std::collections::VecDeque;
 
 const NONE: u32 = u32::MAX;
 
 /// Computes a maximum matching of a general graph.
-pub fn blossom_maximum_matching(g: &Graph) -> Matching {
+///
+/// Accepts any [`GraphRef`]; the adjacency is built once as a [`Csr`] (the
+/// canonical traversal structure) rather than a per-call `Vec<Vec<_>>`.
+pub fn blossom_maximum_matching<G: GraphRef + ?Sized>(g: &G) -> Matching {
     let n = g.n();
-    let adj = g.adjacency();
-    let adj: Vec<&[VertexId]> = (0..n as u32).map(|v| adj.neighbors(v)).collect();
+    let adj = Csr::from_ref(g);
     // `mate[v]` = partner of v or NONE.
     let mut mate = vec![NONE; n];
 
     // Greedy initialisation speeds up the augmenting phase substantially.
     for v in 0..n as u32 {
         if mate[v as usize] == NONE {
-            for &w in adj[v as usize] {
+            for &w in adj.neighbors(v) {
                 if mate[w as usize] == NONE {
                     mate[v as usize] = w;
                     mate[w as usize] = v;
@@ -45,7 +47,10 @@ pub fn blossom_maximum_matching(g: &Graph) -> Matching {
     };
 
     for v in 0..n as u32 {
-        if mate[v as usize] == NONE {
+        // A free vertex with no incident edges cannot start an augmenting
+        // path; skipping it avoids the O(n) per-search state reset (sparse
+        // pieces of a large partition are mostly isolated vertices).
+        if mate[v as usize] == NONE && adj.degree(v) > 0 {
             state.augment_from(v, &adj, &mut mate);
         }
     }
@@ -72,7 +77,7 @@ struct BlossomState {
 impl BlossomState {
     /// Attempts to find and apply an augmenting path starting at the free
     /// vertex `root`. Returns `true` if the matching was augmented.
-    fn augment_from(&mut self, root: u32, adj: &[&[VertexId]], mate: &mut [u32]) -> bool {
+    fn augment_from(&mut self, root: u32, adj: &Csr, mate: &mut [u32]) -> bool {
         self.used.iter_mut().for_each(|x| *x = false);
         self.parent.iter_mut().for_each(|x| *x = NONE);
         for (i, b) in self.base.iter_mut().enumerate() {
@@ -83,7 +88,7 @@ impl BlossomState {
         self.used[root as usize] = true;
 
         while let Some(v) = self.queue.pop_front() {
-            for &to in adj[v as usize] {
+            for &to in adj.neighbors(v) {
                 if self.base[v as usize] == self.base[to as usize] || mate[v as usize] == to {
                     continue;
                 }
@@ -176,6 +181,7 @@ mod tests {
     use graph::gen::bipartite::random_bipartite;
     use graph::gen::er::gnp;
     use graph::gen::structured::{complete, cycle, path, star};
+    use graph::Graph;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -9,20 +9,26 @@
 //! order, and an adversarial order supplied by a key function.
 
 use crate::matching::Matching;
-use graph::{Edge, Graph};
+use graph::{Edge, GraphRef};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Greedy maximal matching scanning edges in input (edge-list) order.
-pub fn maximal_matching(g: &Graph) -> Matching {
-    greedy_over(g, g.edges().iter().copied())
+///
+/// Accepts any [`GraphRef`] — an owned `Graph` or a zero-copy `GraphView`
+/// into a partition arena.
+pub fn maximal_matching<G: GraphRef + ?Sized>(g: &G) -> Matching {
+    greedy_over(g.n(), g.edges().iter().copied())
 }
 
 /// Greedy maximal matching over a uniformly random edge order.
-pub fn maximal_matching_shuffled<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Matching {
+pub fn maximal_matching_shuffled<G: GraphRef + ?Sized, R: Rng + ?Sized>(
+    g: &G,
+    rng: &mut R,
+) -> Matching {
     let mut edges: Vec<Edge> = g.edges().to_vec();
     edges.shuffle(rng);
-    greedy_over(g, edges.into_iter())
+    greedy_over(g.n(), edges.into_iter())
 }
 
 /// Greedy maximal matching scanning edges in increasing order of `key`.
@@ -31,18 +37,19 @@ pub fn maximal_matching_shuffled<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Mat
 /// maximal matching of the paper's negative example; passing edge weight as a
 /// *decreasing* key yields the classic greedy weighted matching (see
 /// [`crate::weighted`]).
-pub fn maximal_matching_by_key<K, F>(g: &Graph, mut key: F) -> Matching
+pub fn maximal_matching_by_key<G, K, F>(g: &G, mut key: F) -> Matching
 where
+    G: GraphRef + ?Sized,
     K: Ord,
     F: FnMut(&Edge) -> K,
 {
     let mut edges: Vec<Edge> = g.edges().to_vec();
     edges.sort_by_key(|e| key(e));
-    greedy_over(g, edges.into_iter())
+    greedy_over(g.n(), edges.into_iter())
 }
 
-fn greedy_over(g: &Graph, edges: impl Iterator<Item = Edge>) -> Matching {
-    let mut matched = vec![false; g.n()];
+fn greedy_over(n: usize, edges: impl Iterator<Item = Edge>) -> Matching {
+    let mut matched = vec![false; n];
     let mut m = Matching::new();
     for e in edges {
         m.try_add(e, &mut matched);
@@ -55,6 +62,7 @@ mod tests {
     use super::*;
     use crate::matching::brute_force_maximum_matching_size;
     use graph::gen::er::gnp;
+    use graph::Graph;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -5,6 +5,7 @@
 //! requires *some* maximum matching of each piece, and Hopcroft–Karp provides
 //! it fast enough for the large-n experiments.
 
+use graph::bipartite::LeftCsr;
 use graph::{BipartiteGraph, VertexId};
 use std::collections::VecDeque;
 
@@ -13,10 +14,14 @@ const INF: u32 = u32::MAX;
 
 /// Computes a maximum matching of the bipartite graph, returned as
 /// `(left, right)` pairs.
+///
+/// The left-side adjacency is built once as a flat CSR
+/// ([`BipartiteGraph::left_csr`]) — one contiguous allocation instead of the
+/// per-call `Vec<Vec<_>>` rebuild.
 pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
     let left_n = g.left_n();
     let right_n = g.right_n();
-    let adj = g.left_adjacency();
+    let adj = g.left_csr();
 
     // pair_left[l] = right partner of l (or NIL); pair_right[r] = left partner.
     let mut pair_left = vec![NIL; left_n];
@@ -49,7 +54,7 @@ pub fn hopcroft_karp_size(g: &BipartiteGraph) -> usize {
     hopcroft_karp(g).len()
 }
 
-fn bfs(adj: &[Vec<VertexId>], pair_left: &[u32], pair_right: &[u32], dist: &mut [u32]) -> bool {
+fn bfs(adj: &LeftCsr, pair_left: &[u32], pair_right: &[u32], dist: &mut [u32]) -> bool {
     let mut queue = VecDeque::new();
     for (l, &p) in pair_left.iter().enumerate() {
         if p == NIL {
@@ -61,7 +66,7 @@ fn bfs(adj: &[Vec<VertexId>], pair_left: &[u32], pair_right: &[u32], dist: &mut 
     }
     let mut found_augmenting = false;
     while let Some(l) = queue.pop_front() {
-        for &r in &adj[l as usize] {
+        for &r in adj.neighbors(l as usize) {
             let next = pair_right[r as usize];
             if next == NIL {
                 found_augmenting = true;
@@ -76,13 +81,13 @@ fn bfs(adj: &[Vec<VertexId>], pair_left: &[u32], pair_right: &[u32], dist: &mut 
 
 fn dfs(
     l: usize,
-    adj: &[Vec<VertexId>],
+    adj: &LeftCsr,
     pair_left: &mut [u32],
     pair_right: &mut [u32],
     dist: &mut [u32],
 ) -> bool {
-    for i in 0..adj[l].len() {
-        let r = adj[l][i] as usize;
+    for i in 0..adj.degree(l) {
+        let r = adj.neighbors(l)[i] as usize;
         let next = pair_right[r];
         let extends = if next == NIL {
             true

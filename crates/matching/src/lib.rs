@@ -8,7 +8,7 @@
 //! * [`Matching`] — a validated set of vertex-disjoint edges.
 //! * [`greedy`] — maximal matchings under arbitrary, random or adversarial
 //!   edge orderings.
-//! * [`hopcroft_karp`] — maximum matching in bipartite graphs in
+//! * [`hopcroft_karp`](mod@hopcroft_karp) — maximum matching in bipartite graphs in
 //!   `O(m sqrt(n))`.
 //! * [`blossom`] — Edmonds' blossom algorithm for maximum matching in general
 //!   graphs.

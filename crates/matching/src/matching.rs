@@ -1,7 +1,7 @@
 //! The [`Matching`] type: a set of vertex-disjoint edges with validation
 //! helpers used by every algorithm and by the coreset composition step.
 
-use graph::{Edge, Graph, VertexId};
+use graph::{Edge, GraphRef, VertexId};
 use std::collections::HashSet;
 
 /// A matching: a set of edges no two of which share an endpoint.
@@ -112,7 +112,7 @@ impl Matching {
 
     /// Checks that every matched edge is present in `g` and that the edges are
     /// pairwise disjoint (the latter is an invariant, re-checked defensively).
-    pub fn is_valid_for(&self, g: &Graph) -> bool {
+    pub fn is_valid_for<G: GraphRef + ?Sized>(&self, g: &G) -> bool {
         let edge_set: HashSet<Edge> = g.edges().iter().copied().collect();
         let mut seen: HashSet<VertexId> = HashSet::new();
         for e in &self.edges {
@@ -127,7 +127,7 @@ impl Matching {
     }
 
     /// Checks maximality in `g`: no edge of `g` has both endpoints unmatched.
-    pub fn is_maximal_in(&self, g: &Graph) -> bool {
+    pub fn is_maximal_in<G: GraphRef + ?Sized>(&self, g: &G) -> bool {
         let matched = self.matched_vertices();
         g.edges()
             .iter()
@@ -144,7 +144,7 @@ impl From<Vec<Edge>> for Matching {
 /// Computes the exact maximum matching size of small graphs by exhaustive
 /// search over edge subsets (exponential; intended for cross-checking the real
 /// algorithms in tests, `m <= ~20`).
-pub fn brute_force_maximum_matching_size(g: &Graph) -> usize {
+pub fn brute_force_maximum_matching_size<G: GraphRef + ?Sized>(g: &G) -> usize {
     fn recurse(edges: &[Edge], used: &mut Vec<bool>, idx: usize, size: usize, best: &mut usize) {
         *best = (*best).max(size);
         if idx == edges.len() {
@@ -175,6 +175,7 @@ pub fn brute_force_maximum_matching_size(g: &Graph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graph::Graph;
 
     fn path4() -> Graph {
         Graph::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()

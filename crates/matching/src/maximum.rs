@@ -10,7 +10,7 @@
 use crate::blossom::blossom_maximum_matching;
 use crate::hopcroft_karp::hopcroft_karp;
 use crate::matching::Matching;
-use graph::{BipartiteGraph, Edge, Graph, VertexId};
+use graph::{BipartiteGraph, Csr, Edge, GraphRef, VertexId};
 use std::collections::VecDeque;
 
 /// Which maximum-matching algorithm to run.
@@ -31,7 +31,12 @@ pub enum MaximumMatchingAlgorithm {
 }
 
 /// Computes a maximum matching of `g` using the requested algorithm.
-pub fn maximum_matching_with(g: &Graph, algorithm: MaximumMatchingAlgorithm) -> Matching {
+///
+/// Accepts any [`GraphRef`] — an owned `Graph` or a zero-copy `GraphView`.
+pub fn maximum_matching_with<G: GraphRef + ?Sized>(
+    g: &G,
+    algorithm: MaximumMatchingAlgorithm,
+) -> Matching {
     match algorithm {
         MaximumMatchingAlgorithm::Blossom => blossom_maximum_matching(g),
         MaximumMatchingAlgorithm::HopcroftKarp => {
@@ -47,14 +52,14 @@ pub fn maximum_matching_with(g: &Graph, algorithm: MaximumMatchingAlgorithm) -> 
 }
 
 /// Computes a maximum matching of `g` with the default (auto) algorithm.
-pub fn maximum_matching(g: &Graph) -> Matching {
+pub fn maximum_matching<G: GraphRef + ?Sized>(g: &G) -> Matching {
     maximum_matching_with(g, MaximumMatchingAlgorithm::Auto)
 }
 
 /// Attempts to 2-colour the graph; returns `Some(color)` (0/1 per vertex) if
 /// bipartite and `None` if an odd cycle exists. Isolated vertices get colour 0.
-pub fn two_coloring(g: &Graph) -> Option<Vec<u8>> {
-    let adj = g.adjacency();
+pub fn two_coloring<G: GraphRef + ?Sized>(g: &G) -> Option<Vec<u8>> {
+    let adj = Csr::from_ref(g);
     let mut color = vec![u8::MAX; g.n()];
     let mut queue = VecDeque::new();
     for start in 0..g.n() {
@@ -79,7 +84,7 @@ pub fn two_coloring(g: &Graph) -> Option<Vec<u8>> {
 
 /// Runs Hopcroft–Karp on a graph with a known 2-colouring and maps the result
 /// back to the graph's own vertex ids.
-fn hopcroft_karp_on_coloring(g: &Graph, color: &[u8]) -> Matching {
+fn hopcroft_karp_on_coloring<G: GraphRef + ?Sized>(g: &G, color: &[u8]) -> Matching {
     // Map colour-0 vertices to left ids and colour-1 vertices to right ids.
     let mut left_ids = Vec::new();
     let mut right_ids = Vec::new();
@@ -132,6 +137,7 @@ mod tests {
     use crate::matching::brute_force_maximum_matching_size;
     use graph::gen::er::gnp;
     use graph::gen::structured::{cycle, path, star};
+    use graph::Graph;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -2,7 +2,7 @@
 //! weight-class reduction.
 //!
 //! The paper's Section 1.1 notes that its (unweighted) matching coreset
-//! extends to weighted graphs "using the Crouch–Stubbs technique [22] ...
+//! extends to weighted graphs "using the Crouch–Stubbs technique \[22\] ...
 //! with a factor 2 loss in approximation and an extra O(log n) term in the
 //! space". The technique partitions edges into geometric weight classes, runs
 //! an unweighted matching per class, and combines the class matchings

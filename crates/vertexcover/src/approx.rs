@@ -8,13 +8,13 @@
 //!   `H_Δ = O(log n)`-approximation used as an additional baseline.
 
 use crate::cover::VertexCover;
-use graph::{Graph, VertexId};
+use graph::{Csr, GraphRef, VertexId};
 use matching::greedy::maximal_matching;
 use std::collections::BinaryHeap;
 
 /// 2-approximate vertex cover: take both endpoints of every edge of a maximal
-/// matching.
-pub fn two_approx_cover(g: &Graph) -> VertexCover {
+/// matching. Accepts any [`GraphRef`].
+pub fn two_approx_cover<G: GraphRef + ?Sized>(g: &G) -> VertexCover {
     let m = maximal_matching(g);
     let mut cover = VertexCover::new();
     for e in m.edges() {
@@ -25,9 +25,10 @@ pub fn two_approx_cover(g: &Graph) -> VertexCover {
 }
 
 /// Greedy maximum-degree vertex cover: repeatedly add the vertex covering the
-/// most uncovered edges. `O(m log n)` with a lazy-deletion heap.
-pub fn greedy_degree_cover(g: &Graph) -> VertexCover {
-    let adj = g.adjacency();
+/// most uncovered edges. `O(m log n)` with a lazy-deletion heap over a CSR
+/// adjacency.
+pub fn greedy_degree_cover<G: GraphRef + ?Sized>(g: &G) -> VertexCover {
+    let adj = Csr::from_ref(g);
     let n = g.n();
     let mut remaining_degree: Vec<usize> = (0..n as VertexId).map(|v| adj.degree(v)).collect();
     let mut covered = vec![false; n];
@@ -73,6 +74,7 @@ mod tests {
     use crate::exact::exact_cover_branch_and_bound;
     use graph::gen::er::gnp;
     use graph::gen::structured::{complete, cycle, path, star};
+    use graph::Graph;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

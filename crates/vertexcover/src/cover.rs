@@ -1,6 +1,6 @@
 //! The [`VertexCover`] type: a set of vertices with coverage validation.
 
-use graph::{Graph, VertexId};
+use graph::{GraphRef, VertexId};
 use std::collections::HashSet;
 
 /// A set of vertices intended to cover every edge of some graph.
@@ -62,7 +62,8 @@ impl VertexCover {
     }
 
     /// Checks that every edge of `g` has at least one endpoint in the cover.
-    pub fn covers(&self, g: &Graph) -> bool {
+    /// Accepts any [`GraphRef`] (owned graph or zero-copy view).
+    pub fn covers<G: GraphRef + ?Sized>(&self, g: &G) -> bool {
         g.edges()
             .iter()
             .all(|e| self.vertices.contains(&e.u) || self.vertices.contains(&e.v))
@@ -71,7 +72,10 @@ impl VertexCover {
     /// Returns the edges of `g` *not* covered (useful in failure diagnostics
     /// and in the lower-bound experiments, which count exactly how often the
     /// hidden edge `e*` escapes).
-    pub fn uncovered_edges<'a>(&'a self, g: &'a Graph) -> impl Iterator<Item = graph::Edge> + 'a {
+    pub fn uncovered_edges<'a, G: GraphRef + ?Sized>(
+        &'a self,
+        g: &'a G,
+    ) -> impl Iterator<Item = graph::Edge> + 'a {
         g.edges()
             .iter()
             .copied()
@@ -97,6 +101,7 @@ impl FromIterator<VertexId> for VertexCover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graph::Graph;
 
     fn path4() -> Graph {
         Graph::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()

@@ -11,7 +11,7 @@
 //!   large bipartite instances (all of the paper's hard distributions).
 
 use crate::cover::VertexCover;
-use graph::{BipartiteGraph, Graph, VertexId};
+use graph::{BipartiteGraph, GraphRef, VertexId};
 use matching::hopcroft_karp::hopcroft_karp;
 use std::collections::VecDeque;
 
@@ -21,12 +21,17 @@ use std::collections::VecDeque;
 /// applies standard reductions — isolated vertices are ignored and a vertex
 /// adjacent to a degree-1 vertex is always taken — and branches on a
 /// maximum-degree vertex (`take it` vs `take its whole neighbourhood`).
-pub fn exact_cover_branch_and_bound(g: &Graph) -> VertexCover {
-    // Work on adjacency sets that we can edit.
-    let adj = g.adjacency();
-    let mut neighbors: Vec<Vec<VertexId>> = (0..g.n() as VertexId)
-        .map(|v| adj.neighbors(v).to_vec())
-        .collect();
+pub fn exact_cover_branch_and_bound<G: GraphRef + ?Sized>(g: &G) -> VertexCover {
+    // Build editable adjacency sets directly from the edge list (same sorted
+    // per-vertex order the old `Adjacency` view produced).
+    let mut neighbors: Vec<Vec<VertexId>> = vec![Vec::new(); g.n()];
+    for e in g.edges() {
+        neighbors[e.u as usize].push(e.v);
+        neighbors[e.v as usize].push(e.u);
+    }
+    for list in &mut neighbors {
+        list.sort_unstable();
+    }
     let mut best: Option<Vec<VertexId>> = None;
     let mut current: Vec<VertexId> = Vec::new();
     branch(&mut neighbors, &mut current, &mut best);
@@ -168,7 +173,7 @@ pub fn koenig_cover(g: &BipartiteGraph) -> VertexCover {
         mate_left[l as usize] = r;
         mate_right[r as usize] = l;
     }
-    let adj = g.left_adjacency();
+    let adj = g.left_csr();
 
     // Alternating BFS from unmatched left vertices: left->right over
     // non-matching edges, right->left over matching edges.
@@ -182,7 +187,7 @@ pub fn koenig_cover(g: &BipartiteGraph) -> VertexCover {
         }
     }
     while let Some(l) = queue.pop_front() {
-        for &r in &adj[l as usize] {
+        for &r in adj.neighbors(l as usize) {
             if mate_left[l as usize] == r {
                 continue; // matching edge: not usable in this direction
             }
@@ -217,6 +222,7 @@ mod tests {
     use graph::gen::bipartite::random_bipartite;
     use graph::gen::er::gnp;
     use graph::gen::structured::{complete, cycle, path, star, star_forest};
+    use graph::Graph;
     use matching::hopcroft_karp::hopcroft_karp_size;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

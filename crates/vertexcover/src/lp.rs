@@ -14,7 +14,7 @@
 //! non-bipartite inputs.
 
 use crate::cover::VertexCover;
-use graph::{BipartiteGraph, Graph, VertexId};
+use graph::{BipartiteGraph, GraphRef, VertexId};
 
 /// The half-integral optimum of the vertex-cover LP.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,7 +46,7 @@ impl HalfIntegralSolution {
 
 /// Solves the vertex-cover LP relaxation exactly (half-integral optimum) via
 /// König's theorem on the bipartite double cover.
-pub fn lp_vertex_cover(g: &Graph) -> HalfIntegralSolution {
+pub fn lp_vertex_cover<G: GraphRef + ?Sized>(g: &G) -> HalfIntegralSolution {
     let n = g.n();
     // Double cover: left copy and right copy of every vertex.
     let pairs = g.edges().iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]);
@@ -73,6 +73,7 @@ mod tests {
     use crate::exact::exact_cover_branch_and_bound;
     use graph::gen::er::gnp;
     use graph::gen::structured::{complete, cycle, path, star};
+    use graph::Graph;
     use matching::maximum::maximum_matching;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -13,7 +13,7 @@
 //! schedule `t_j = n / (k · 2^{j+1})`.
 
 use crate::cover::VertexCover;
-use graph::{Graph, VertexId};
+use graph::{Edge, Graph, GraphRef, VertexId};
 
 /// The result of running the peeling process on a graph.
 #[derive(Debug, Clone)]
@@ -46,20 +46,36 @@ impl PeelingOutcome {
 /// Returns the peeled vertices per round and the residual graph. Thresholds
 /// of zero are skipped (they would peel every vertex and make the outcome
 /// trivial).
-pub fn peel_with_thresholds(g: &Graph, thresholds: &[usize]) -> PeelingOutcome {
-    let mut current = g.clone();
+///
+/// Accepts any [`GraphRef`] and never clones the input graph: the residual
+/// edge set is filtered in place in one working buffer, preserving the input
+/// edge order (exactly what the per-round `remove_vertices` chain produced).
+pub fn peel_with_thresholds<G: GraphRef + ?Sized>(g: &G, thresholds: &[usize]) -> PeelingOutcome {
+    let n = g.n();
+    let mut edges: Vec<Edge> = g.edges().to_vec();
     let mut peeled_per_round = Vec::with_capacity(thresholds.len());
     let mut used_thresholds = Vec::with_capacity(thresholds.len());
+    let mut peeled_now = vec![false; n];
 
     for &t in thresholds {
         if t == 0 {
             continue;
         }
-        let degrees = current.degrees();
-        let peeled: Vec<VertexId> = (0..current.n() as VertexId)
+        let mut degrees = vec![0usize; n];
+        for e in &edges {
+            degrees[e.u as usize] += 1;
+            degrees[e.v as usize] += 1;
+        }
+        let peeled: Vec<VertexId> = (0..n as VertexId)
             .filter(|&v| degrees[v as usize] >= t)
             .collect();
-        current = current.remove_vertices(&peeled);
+        for &v in &peeled {
+            peeled_now[v as usize] = true;
+        }
+        edges.retain(|e| !peeled_now[e.u as usize] && !peeled_now[e.v as usize]);
+        for &v in &peeled {
+            peeled_now[v as usize] = false;
+        }
         peeled_per_round.push(peeled);
         used_thresholds.push(t);
     }
@@ -67,7 +83,7 @@ pub fn peel_with_thresholds(g: &Graph, thresholds: &[usize]) -> PeelingOutcome {
     PeelingOutcome {
         peeled_per_round,
         thresholds: used_thresholds,
-        residual: current,
+        residual: Graph::from_edges_unchecked(n, edges),
     }
 }
 
@@ -75,7 +91,7 @@ pub fn peel_with_thresholds(g: &Graph, thresholds: &[usize]) -> PeelingOutcome {
 /// `n/2, n/4, n/8, ...` down to `stop_at` (exclusive). Returns the outcome;
 /// the union of the peeled vertices plus a 2-approximate cover of the residual
 /// graph is an `O(log n)`-approximate vertex cover.
-pub fn parnas_ron_peeling(g: &Graph, stop_at: usize) -> PeelingOutcome {
+pub fn parnas_ron_peeling<G: GraphRef + ?Sized>(g: &G, stop_at: usize) -> PeelingOutcome {
     let mut thresholds = Vec::new();
     let mut t = g.n() / 2;
     while t > stop_at.max(1) {

@@ -16,7 +16,7 @@ use coresets::matching_coreset::AvoidingMaximalMatchingCoreset;
 use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
 use coresets::{machine_rng, CappedMatchingCoreset, CoresetParams, DistributedMatching};
 use graph::gen::hard::{d_matching, d_vc, maximal_matching_trap};
-use graph::partition::EdgePartition;
+use graph::partition::PartitionedGraph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -132,11 +132,11 @@ fn capped_coresets_miss_the_hidden_edge_on_d_vc() {
         let inst = d_vc(n, alpha, k, &mut r).unwrap();
         let g = inst.graph.to_graph();
         let params = CoresetParams::new(g.n(), k);
-        let partition = EdgePartition::random(&g, k, &mut r).unwrap();
+        let partition = PartitionedGraph::random(&g, k, &mut r).unwrap();
 
         let full_outputs: Vec<VcCoresetOutput> = partition
-            .pieces()
-            .iter()
+            .views()
+            .into_iter()
             .enumerate()
             .map(|(i, p)| {
                 PeelingVcCoreset::new().build(p, &params, i, &mut machine_rng(100 + t, i))
@@ -194,10 +194,10 @@ fn theorem4_cap_sweep_regression() {
             let inst = d_vc(n, alpha, k, &mut r).unwrap();
             let g = inst.graph.to_graph();
             let params = CoresetParams::new(g.n(), k);
-            let partition = EdgePartition::random(&g, k, &mut r).unwrap();
+            let partition = PartitionedGraph::random(&g, k, &mut r).unwrap();
             let outputs: Vec<VcCoresetOutput> = partition
-                .pieces()
-                .iter()
+                .views()
+                .into_iter()
                 .enumerate()
                 .map(|(i, piece)| {
                     let mut mrng = machine_rng(seed, i);

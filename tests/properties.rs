@@ -7,7 +7,7 @@ use coresets::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset}
 use coresets::vc_coreset::{PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput};
 use coresets::{machine_rng, CoresetParams, DistributedMatching, DistributedVertexCover};
 use graph::partition::EdgePartition;
-use graph::Graph;
+use graph::{Graph, GraphRef};
 use matching::greedy::maximal_matching;
 use matching::matching::brute_force_maximum_matching_size;
 use matching::maximum::{maximum_matching, MaximumMatchingAlgorithm};
@@ -91,7 +91,7 @@ proptest! {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i, &mut machine_rng(seed, i)))
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p.as_view(), &params, i, &mut machine_rng(seed, i)))
             .collect();
         for c in &coresets {
             prop_assert!(c.m() <= g.n() / 2 + 1);
@@ -116,7 +116,7 @@ proptest! {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| PeelingVcCoreset::new().build(p, &params, i, &mut machine_rng(seed, i)))
+            .map(|(i, p)| PeelingVcCoreset::new().build(p.as_view(), &params, i, &mut machine_rng(seed, i)))
             .collect();
         let cover = compose_vertex_cover(&outputs);
         prop_assert!(cover.covers(&g));
@@ -136,7 +136,7 @@ proptest! {
             .map(|p| maximum_matching(p).len())
             .max()
             .unwrap_or(0);
-        let run = DistributedMatching::new(k).run_on_partition(g.n(), part.pieces(), seed);
+        let run = DistributedMatching::new(k).run_on_partition(g.n(), &graph::views_of(part.pieces()), seed);
         prop_assert!(run.matching.is_valid_for(&g));
         prop_assert!(
             run.matching.len() >= best_single,
@@ -171,7 +171,7 @@ proptest! {
             .pieces()
             .iter()
             .enumerate()
-            .map(|(i, p)| MaximumMatchingCoreset::new().build(p, &params, i, &mut machine_rng(seed, i)))
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p.as_view(), &params, i, &mut machine_rng(seed, i)))
             .collect();
         let (greedy, trace) = coresets::greedy_match::greedy_match(g.n(), &coresets);
         prop_assert!(greedy.is_valid_for(&g));

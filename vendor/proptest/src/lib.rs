@@ -154,7 +154,7 @@ pub mod strategy {
     }
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+/// `any::<T>()` and the `Arbitrary` trait behind it.
 pub mod arbitrary {
     use super::Strategy;
     use rand::RngCore;
@@ -206,7 +206,7 @@ pub mod collection {
     use std::hash::Hash;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
