@@ -1,0 +1,567 @@
+//! Experiment E13 — the maximum-matching solver hot path, old vs new.
+//!
+//! E12 made partition construction 2.4–3.1x faster but left the end-to-end
+//! pipeline flat: the run is dominated by the per-piece and coordinator
+//! maximum-matching solves. This experiment isolates the solver overhaul:
+//!
+//! * **vertex compaction** — each piece is relabeled onto its non-isolated
+//!   vertices before solving (`graph::VertexCompactor`), so per-vertex solver
+//!   state scales with the live vertex count, not the full `n`;
+//! * **epoch-based lazy resets** — the blossom search state lives in a
+//!   reusable `BlossomWorkspace` whose `used`/`parent`/`base` arrays are
+//!   invalidated by bumping a `u32` epoch instead of `O(n)` clears, and whose
+//!   LCA/contraction marks replace the per-call `vec![false; n]` allocations;
+//! * **fused bipartite dispatch + warm starts** — one CSR is shared by the
+//!   2-colouring check and the solver (no intermediate `BipartiteGraph`
+//!   materialization), and the coordinator's composed solve is seeded with
+//!   the best per-machine matching.
+//!
+//! The **legacy path is frozen in this binary** (`mod legacy`): it is a
+//! faithful copy of the pre-overhaul solver — per-search `O(n)` resets,
+//! per-call LCA allocations, colour-then-materialize Hopcroft–Karp dispatch,
+//! cold coordinator solves — so the comparison survives future changes to the
+//! live crates.
+//!
+//! Three phases are timed on `G(n, p)` with `k = 16` (at `RC_THREADS=1`):
+//! per-piece solves, the coordinator's composed solve, and the full matching
+//! pipeline end to end; partition construction is timed separately as the
+//! remaining overhead. The per-piece solves are asserted **edge-identical**
+//! between the paths (the workspace rewrite is step-identical to the classic
+//! search), the composed/end-to-end answers size-identical (both paths
+//! return maximum matchings of identical unions; the warm-started solve may
+//! pick different edges), the workspace's `full_resets` counter is asserted
+//! zero, and the end-to-end speedup must clear the acceptance bar (≥ 2x at
+//! the default `n = 10⁵` workload) — the fixed-seed regression mirroring
+//! E12's `required_construction_speedup`.
+//!
+//! Emits machine-readable `BENCH_solver.json` (uploaded as a CI artifact).
+//! CI runs the smaller `E13_CI=1` workload with a correspondingly relaxed
+//! bar; regenerate the committed numbers with `RC_THREADS=1 cargo run
+//! --release -p bench --bin exp_solver_hotpath`.
+
+use bench::table::fmt_f;
+use bench::{Summary, Table};
+use coresets::{solve_composed_matching, DistributedMatching};
+use graph::gen::er::gnp;
+use graph::partition::PartitionedGraph;
+use graph::Graph;
+use matching::matching::Matching;
+use matching::maximum::MaximumMatchingAlgorithm;
+use matching::MatchingEngine;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 2017;
+const K: usize = 16;
+
+/// The pre-overhaul solver path, reproduced faithfully from the seed so the
+/// benchmark keeps measuring the same baseline forever.
+mod legacy {
+    use graph::partition::PartitionedGraph;
+    use graph::{BipartiteGraph, Csr, Edge, Graph, GraphRef, VertexId};
+    use matching::hopcroft_karp::hopcroft_karp;
+    use matching::matching::Matching;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::VecDeque;
+
+    const NONE: u32 = u32::MAX;
+
+    /// Seed blossom: `O(n)` clears of `used`/`parent`/`base` per augmenting
+    /// search, fresh `vec![false; n]` in every LCA/contraction, full `0..n`
+    /// contraction sweep.
+    pub fn blossom_maximum_matching<G: GraphRef + ?Sized>(g: &G) -> Matching {
+        let n = g.n();
+        let adj = Csr::from_ref(g);
+        let mut mate = vec![NONE; n];
+
+        for v in 0..n as u32 {
+            if mate[v as usize] == NONE {
+                for &w in adj.neighbors(v) {
+                    if mate[w as usize] == NONE {
+                        mate[v as usize] = w;
+                        mate[w as usize] = v;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut state = BlossomState {
+            n,
+            parent: vec![NONE; n],
+            base: (0..n as u32).collect(),
+            queue: VecDeque::new(),
+            used: vec![false; n],
+            blossom: vec![false; n],
+        };
+
+        for v in 0..n as u32 {
+            if mate[v as usize] == NONE && adj.degree(v) > 0 {
+                state.augment_from(v, &adj, &mut mate);
+            }
+        }
+
+        let mut edges = Vec::new();
+        for v in 0..n as u32 {
+            let w = mate[v as usize];
+            if w != NONE && v < w {
+                edges.push(Edge::new(v, w));
+            }
+        }
+        Matching::from_edges(edges)
+    }
+
+    struct BlossomState {
+        n: usize,
+        parent: Vec<u32>,
+        base: Vec<u32>,
+        queue: VecDeque<u32>,
+        used: Vec<bool>,
+        blossom: Vec<bool>,
+    }
+
+    impl BlossomState {
+        fn augment_from(&mut self, root: u32, adj: &Csr, mate: &mut [u32]) -> bool {
+            self.used.iter_mut().for_each(|x| *x = false);
+            self.parent.iter_mut().for_each(|x| *x = NONE);
+            for (i, b) in self.base.iter_mut().enumerate() {
+                *b = i as u32;
+            }
+            self.queue.clear();
+            self.queue.push_back(root);
+            self.used[root as usize] = true;
+
+            while let Some(v) = self.queue.pop_front() {
+                for &to in adj.neighbors(v) {
+                    if self.base[v as usize] == self.base[to as usize] || mate[v as usize] == to {
+                        continue;
+                    }
+                    if to == root
+                        || (mate[to as usize] != NONE
+                            && self.parent[mate[to as usize] as usize] != NONE)
+                    {
+                        let cur_base = self.lca(v, to, mate);
+                        self.blossom.iter_mut().for_each(|x| *x = false);
+                        self.mark_path(v, cur_base, to, mate);
+                        self.mark_path(to, cur_base, v, mate);
+                        for i in 0..self.n {
+                            if self.blossom[self.base[i] as usize] {
+                                self.base[i] = cur_base;
+                                if !self.used[i] {
+                                    self.used[i] = true;
+                                    self.queue.push_back(i as u32);
+                                }
+                            }
+                        }
+                    } else if self.parent[to as usize] == NONE {
+                        self.parent[to as usize] = v;
+                        if mate[to as usize] == NONE {
+                            self.augment_along(to, mate);
+                            return true;
+                        }
+                        let next = mate[to as usize];
+                        self.used[next as usize] = true;
+                        self.queue.push_back(next);
+                    }
+                }
+            }
+            false
+        }
+
+        fn lca(&self, mut a: u32, mut b: u32, mate: &[u32]) -> u32 {
+            let mut visited = vec![false; self.n];
+            loop {
+                a = self.base[a as usize];
+                visited[a as usize] = true;
+                if mate[a as usize] == NONE {
+                    break;
+                }
+                a = self.parent[mate[a as usize] as usize];
+            }
+            loop {
+                b = self.base[b as usize];
+                if visited[b as usize] {
+                    return b;
+                }
+                b = self.parent[mate[b as usize] as usize];
+            }
+        }
+
+        fn mark_path(&mut self, mut v: u32, base: u32, mut child: u32, mate: &[u32]) {
+            while self.base[v as usize] != base {
+                self.blossom[self.base[v as usize] as usize] = true;
+                self.blossom[self.base[mate[v as usize] as usize] as usize] = true;
+                self.parent[v as usize] = child;
+                child = mate[v as usize];
+                v = self.parent[mate[v as usize] as usize];
+            }
+        }
+
+        fn augment_along(&self, mut v: u32, mate: &mut [u32]) {
+            while v != NONE {
+                let pv = self.parent[v as usize];
+                let ppv = mate[pv as usize];
+                mate[v as usize] = pv;
+                mate[pv as usize] = v;
+                v = ppv;
+            }
+        }
+    }
+
+    /// Seed 2-colouring: builds its own CSR, BFS-seeds every vertex
+    /// (isolated ones included).
+    pub fn two_coloring<G: GraphRef + ?Sized>(g: &G) -> Option<Vec<u8>> {
+        let adj = Csr::from_ref(g);
+        let mut color = vec![u8::MAX; g.n()];
+        let mut queue = VecDeque::new();
+        for start in 0..g.n() {
+            if color[start] != u8::MAX {
+                continue;
+            }
+            color[start] = 0;
+            queue.push_back(start as u32);
+            while let Some(v) = queue.pop_front() {
+                for &w in adj.neighbors(v) {
+                    if color[w as usize] == u8::MAX {
+                        color[w as usize] = 1 - color[v as usize];
+                        queue.push_back(w);
+                    } else if color[w as usize] == color[v as usize] {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(color)
+    }
+
+    /// Seed Hopcroft–Karp dispatch: relabel to left/right local ids,
+    /// materialize the `(l, r)` pair vector and a `BipartiteGraph`, solve,
+    /// map back.
+    fn hopcroft_karp_on_coloring<G: GraphRef + ?Sized>(g: &G, color: &[u8]) -> Matching {
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        let mut to_local = vec![0u32; g.n()];
+        for v in 0..g.n() {
+            if color[v] == 0 {
+                to_local[v] = left_ids.len() as u32;
+                left_ids.push(v as VertexId);
+            } else {
+                to_local[v] = right_ids.len() as u32;
+                right_ids.push(v as VertexId);
+            }
+        }
+        let pairs: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .iter()
+            .map(|e| {
+                if color[e.u as usize] == 0 {
+                    (to_local[e.u as usize], to_local[e.v as usize])
+                } else {
+                    (to_local[e.v as usize], to_local[e.u as usize])
+                }
+            })
+            .collect();
+        let bg = BipartiteGraph::from_pairs(left_ids.len(), right_ids.len(), pairs)
+            .expect("local ids are in range by construction");
+        let matched = hopcroft_karp(&bg);
+        let edges = matched
+            .into_iter()
+            .map(|(l, r)| Edge::new(left_ids[l as usize], right_ids[r as usize]))
+            .collect();
+        Matching::from_edges(edges)
+    }
+
+    /// Seed `Auto` dispatch: colour (building one CSR, discarded), then
+    /// either materialize a `BipartiteGraph` for Hopcroft–Karp or run the
+    /// `O(n)`-reset blossom.
+    pub fn maximum_matching<G: GraphRef + ?Sized>(g: &G) -> Matching {
+        match two_coloring(g) {
+            Some(coloring) => hopcroft_karp_on_coloring(g, &coloring),
+            None => blossom_maximum_matching(g),
+        }
+    }
+
+    /// The full pre-overhaul matching pipeline: random partition into the
+    /// arena, seed solver per piece, union, cold seed solve at the
+    /// coordinator. Returns the final matching size.
+    pub fn pipeline(g: &Graph, k: usize, seed: u64) -> usize {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partition = PartitionedGraph::random(g, k, &mut rng).expect("k >= 1");
+        let coresets: Vec<Graph> = partition
+            .views()
+            .iter()
+            .map(|p| Graph::from_edges_unchecked(p.n(), maximum_matching(p).into_edges()))
+            .collect();
+        let refs: Vec<&Graph> = coresets.iter().collect();
+        let composed = Graph::union(&refs);
+        maximum_matching(&composed).len()
+    }
+}
+
+/// One phase's old-vs-new measurement.
+#[derive(Debug, Serialize)]
+struct PhaseSample {
+    /// Median wall-clock seconds of the legacy (pre-overhaul) solver path.
+    old_median_secs: f64,
+    /// Median wall-clock seconds of the engine (compaction + epochs + warm
+    /// start) path.
+    new_median_secs: f64,
+    /// `old / new` — > 1 means the new path is faster.
+    speedup: f64,
+}
+
+fn phase(old: f64, new: f64) -> PhaseSample {
+    PhaseSample {
+        old_median_secs: old,
+        new_median_secs: new,
+        speedup: old / new.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// All measurements for one workload.
+#[derive(Debug, Serialize)]
+struct WorkloadBench {
+    workload: String,
+    n: usize,
+    m: usize,
+    k: usize,
+    /// Median seconds to build the random partition (shared by both paths —
+    /// the non-solver remainder of the pipeline).
+    partition_overhead_secs: f64,
+    /// All `k` per-piece maximum-matching solves, summed.
+    per_piece: PhaseSample,
+    /// The coordinator's composed solve (union + maximum matching; the new
+    /// path warm-starts from the best per-machine matching).
+    composed: PhaseSample,
+    /// The full pipeline: partition → per-piece coresets → composed solve.
+    pipeline: PhaseSample,
+    /// Final composed matching size (identical between the paths).
+    matching_size: usize,
+    /// Whether every per-piece matching was edge-identical between the
+    /// legacy solver and the engine (asserted).
+    per_piece_matchings_identical: bool,
+    /// Augmenting searches the engine's blossom workspace ran during the
+    /// per-piece identity pass.
+    blossom_searches: u64,
+    /// `O(n)` workspace resets during that pass — asserted 0.
+    blossom_full_resets: u64,
+}
+
+/// The whole `BENCH_solver.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    p: f64,
+    k: usize,
+    per_piece_reps: usize,
+    composed_reps: usize,
+    pipeline_reps: usize,
+    /// Acceptance bar: the end-to-end pipeline must be at least this much
+    /// faster on the new path (the E13 fixed-seed regression).
+    required_pipeline_speedup: f64,
+    /// True when the reduced `E13_CI=1` workload was measured.
+    ci_mode: bool,
+    workloads: Vec<WorkloadBench>,
+}
+
+/// Times `run` with one warm-up followed by `reps` timed repetitions; asserts
+/// every repetition returns the same answer and reports the median seconds.
+fn median_secs<T: Eq + std::fmt::Debug>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let reference = run();
+    let mut secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let again = run();
+        secs.push(start.elapsed().as_secs_f64());
+        assert_eq!(again, reference, "timed runs must be deterministic");
+    }
+    (Summary::of(&secs).median, reference)
+}
+
+struct Reps {
+    per_piece: usize,
+    composed: usize,
+    pipeline: usize,
+}
+
+fn bench_workload(n: usize, p: f64, reps: &Reps) -> WorkloadBench {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let g = gnp(n, p, &mut rng);
+
+    // Overhead: the partition build both paths share (E12's territory).
+    let (partition_overhead_secs, _) = median_secs(5, || {
+        let mut r = ChaCha8Rng::seed_from_u64(SEED + 1);
+        let part = PartitionedGraph::random(&g, K, &mut r).expect("k >= 1");
+        part.piece_sizes().iter().sum::<usize>()
+    });
+
+    let mut r = ChaCha8Rng::seed_from_u64(SEED + 1);
+    let partition = PartitionedGraph::random(&g, K, &mut r).expect("k >= 1");
+    let views = partition.views();
+
+    // Identity pass (untimed): the engine must reproduce the legacy per-piece
+    // matchings bit for bit, with zero O(n) workspace resets.
+    let legacy_pieces: Vec<Matching> = views.iter().map(legacy::maximum_matching).collect();
+    let mut engine = MatchingEngine::new();
+    let engine_pieces: Vec<Matching> = views.iter().map(|v| engine.solve(v)).collect();
+    let per_piece_matchings_identical = legacy_pieces == engine_pieces;
+    assert!(
+        per_piece_matchings_identical,
+        "the engine must return the exact matchings of the legacy solver"
+    );
+    let blossom_searches = engine.workspace().searches();
+    let blossom_full_resets = engine.workspace().full_resets();
+    assert_eq!(
+        blossom_full_resets, 0,
+        "epoch stamps must never fall back to an O(n) reset"
+    );
+
+    // Phase 1: all k per-piece solves.
+    let (old_pp, old_sum) = median_secs(reps.per_piece, || {
+        views
+            .iter()
+            .map(|v| legacy::maximum_matching(v).len())
+            .sum::<usize>()
+    });
+    let (new_pp, new_sum) = median_secs(reps.per_piece, || {
+        let mut e = MatchingEngine::new();
+        views.iter().map(|v| e.solve(v).len()).sum::<usize>()
+    });
+    assert_eq!(old_sum, new_sum, "per-piece matching sizes must agree");
+
+    // Phase 2: the coordinator's composed solve over fixed coresets.
+    let coresets: Vec<Graph> = engine_pieces
+        .iter()
+        .map(|m| Graph::from_edges_unchecked(g.n(), m.edges().to_vec()))
+        .collect();
+    let (old_comp, old_size) = median_secs(reps.composed, || {
+        let refs: Vec<&Graph> = coresets.iter().collect();
+        let composed = Graph::union(&refs);
+        legacy::maximum_matching(&composed).len()
+    });
+    let (new_comp, new_size) = median_secs(reps.composed, || {
+        solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto).len()
+    });
+    assert_eq!(
+        old_size, new_size,
+        "warm-started composed solve must match the cold legacy size"
+    );
+
+    // Phase 3: the full pipeline, end to end.
+    let dm = DistributedMatching::new(K);
+    let (old_pipe, old_ans) = median_secs(reps.pipeline, || legacy::pipeline(&g, K, SEED + 2));
+    let (new_pipe, new_ans) = median_secs(reps.pipeline, || {
+        dm.run(&g, SEED + 2).expect("k >= 1").matching.len()
+    });
+    assert_eq!(
+        old_ans, new_ans,
+        "end-to-end matching sizes must be identical between the paths"
+    );
+
+    WorkloadBench {
+        workload: format!("gnp({n}, {p})"),
+        n,
+        m: g.m(),
+        k: K,
+        partition_overhead_secs,
+        per_piece: phase(old_pp, new_pp),
+        composed: phase(old_comp, new_comp),
+        pipeline: phase(old_pipe, new_pipe),
+        matching_size: new_ans,
+        per_piece_matchings_identical,
+        blossom_searches,
+        blossom_full_resets,
+    }
+}
+
+fn main() {
+    let ci_mode = std::env::var("E13_CI").is_ok();
+    // CI runs a scaled-down instance of the same regime (per-piece expected
+    // degree ~1.25); the full workload is the acceptance workload of the
+    // solver overhaul.
+    let (n, p, required_pipeline_speedup) = if ci_mode {
+        (25_000, 8e-4, 1.5)
+    } else {
+        (100_000, 2e-4, 2.0)
+    };
+    let reps = Reps {
+        per_piece: 3,
+        composed: 3,
+        pipeline: 2,
+    };
+
+    println!("# E13 — solver hot path: compacted, epoch-reset, warm-started engine\n");
+    println!("Old path (frozen in this binary): per-search O(n) resets in blossom, per-call");
+    println!("LCA allocations, colour-then-materialize Hopcroft-Karp dispatch, cold composed");
+    println!("solve. New path: vertex compaction, epoch-stamped BlossomWorkspace, one shared");
+    println!("CSR for colouring + solver, warm-started coordinator. k = {K}, RC_THREADS=1.\n");
+
+    let w = bench_workload(n, p, &reps);
+
+    let mut table = Table::new(
+        format!("E13: solver hot path old vs new (k = {K} machines)"),
+        &["workload", "m", "phase", "old secs", "new secs", "speedup"],
+    );
+    for (name, s) in [
+        ("per-piece solves", &w.per_piece),
+        ("composed solve", &w.composed),
+        ("pipeline", &w.pipeline),
+    ] {
+        table.add_row(vec![
+            w.workload.clone(),
+            w.m.to_string(),
+            name.to_string(),
+            format!("{:.6}", s.old_median_secs),
+            format!("{:.6}", s.new_median_secs),
+            fmt_f(s.speedup),
+        ]);
+    }
+    table.add_row(vec![
+        w.workload.clone(),
+        w.m.to_string(),
+        "partition overhead".to_string(),
+        format!("{:.6}", w.partition_overhead_secs),
+        format!("{:.6}", w.partition_overhead_secs),
+        fmt_f(1.0),
+    ]);
+    println!("{table}");
+
+    println!(
+        "blossom searches {} | full resets {} | per-piece matchings identical: {}",
+        w.blossom_searches, w.blossom_full_resets, w.per_piece_matchings_identical
+    );
+
+    let report = BenchReport {
+        seed: SEED,
+        p,
+        k: K,
+        per_piece_reps: reps.per_piece,
+        composed_reps: reps.composed,
+        pipeline_reps: reps.pipeline,
+        required_pipeline_speedup,
+        ci_mode,
+        workloads: vec![w],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_solver.json", &json).expect("BENCH_solver.json is writable");
+    println!("Wrote BENCH_solver.json ({} bytes).", json.len());
+
+    for w in &report.workloads {
+        println!(
+            "{}: pipeline speedup {:.2}x (bar: >= {:.1}x)",
+            w.workload, w.pipeline.speedup, report.required_pipeline_speedup
+        );
+        assert!(
+            w.pipeline.speedup >= report.required_pipeline_speedup,
+            "{}: pipeline speedup {:.2}x fell below the {:.1}x acceptance bar",
+            w.workload,
+            w.pipeline.speedup,
+            report.required_pipeline_speedup
+        );
+    }
+    println!("Expected shape: per-piece and composed solves several times faster, end-to-end");
+    println!("pipeline comfortably above the bar at RC_THREADS=1.");
+}

@@ -13,7 +13,7 @@
 use crate::vc_coreset::VcCoresetOutput;
 use graph::Graph;
 use matching::matching::Matching;
-use matching::maximum::{maximum_matching_with, MaximumMatchingAlgorithm};
+use matching::maximum::{maximum_matching_warm, maximum_matching_with, MaximumMatchingAlgorithm};
 use vertexcover::approx::two_approx_cover;
 use vertexcover::VertexCover;
 
@@ -25,12 +25,39 @@ pub fn compose_matching(coresets: &[Graph]) -> Graph {
 
 /// Unions the coresets and extracts a maximum matching of the union — the
 /// coordinator's full computation for the matching problem.
+///
+/// The solve is **warm-started** from the largest per-machine coreset that is
+/// itself a matching (with the paper's builders, every coreset is one): its
+/// edges belong to the union by construction, and seeding the solver with a
+/// matching that is already within a constant factor of the union's optimum
+/// (Theorem 1's analysis) lets the engine skip most augmenting work. Warm
+/// starts never change the returned *size* — the engine always terminates at
+/// a maximum matching of the union (pinned by the composition proptests).
 pub fn solve_composed_matching(
     coresets: &[Graph],
     algorithm: MaximumMatchingAlgorithm,
 ) -> Matching {
     let composed = compose_matching(coresets);
-    maximum_matching_with(&composed, algorithm)
+    match best_piece_matching(coresets) {
+        Some(warm) => maximum_matching_warm(&composed, &warm, algorithm),
+        None => maximum_matching_with(&composed, algorithm),
+    }
+}
+
+/// The largest coreset that forms a valid matching, as the warm start for
+/// the composed solve. Deterministic: the first coreset of maximal size
+/// wins. Builders whose messages are not matchings (none of the paper's,
+/// but the trait does not forbid it) are skipped defensively.
+fn best_piece_matching(coresets: &[Graph]) -> Option<Matching> {
+    let mut best: Option<Matching> = None;
+    for c in coresets {
+        if c.m() > best.as_ref().map_or(0, Matching::len) {
+            if let Some(m) = Matching::try_from_edges(c.edges().to_vec()) {
+                best = Some(m);
+            }
+        }
+    }
+    best
 }
 
 /// Composes vertex-cover coresets: the union of all fixed vertices plus a

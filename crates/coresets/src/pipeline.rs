@@ -21,6 +21,16 @@
 //! parallel fan-out, and per-machine outputs are collected in machine order —
 //! so for a fixed seed the results are bit-identical regardless of how many
 //! worker threads run the machines or how they are scheduled.
+//!
+//! **Solver hot path:** every maximum-matching solve in the run — the
+//! per-piece coresets and the coordinator's composed solve — goes through
+//! [`matching::MatchingEngine`]: the piece is compacted onto its non-isolated
+//! vertices, one CSR is shared by the bipartiteness check and the solver, the
+//! blossom search state is an epoch-reset workspace reused across the solves
+//! of each worker thread, and the composed solve is warm-started from the
+//! best per-machine coreset (see [`crate::compose::solve_composed_matching`]).
+//! Experiment E13 (`exp_solver_hotpath`) measures this path against the
+//! pre-overhaul solver.
 
 use crate::compose::{compose_vertex_cover, solve_composed_matching};
 use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};

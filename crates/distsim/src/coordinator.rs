@@ -19,6 +19,13 @@
 //! messages are collected in machine order, so a run's answer, coreset sizes
 //! and communication cost are bit-identical for any thread count or schedule
 //! (asserted by `tests/determinism.rs`).
+//!
+//! Both the per-machine coreset solves and the coordinator's composed solve
+//! run on the compacted, epoch-reset, warm-started matching engine
+//! ([`matching::MatchingEngine`]; experiment E13): each worker thread reuses
+//! one engine across the machines it simulates, and
+//! [`coresets::solve_composed_matching`] seeds the final solve with the best
+//! machine's matching.
 
 use crate::comm::{CommunicationCost, CostModel};
 use coresets::matching_coreset::MatchingCoresetBuilder;

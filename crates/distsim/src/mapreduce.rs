@@ -13,7 +13,10 @@
 //! If the input is already randomly distributed, round 1 can be skipped and
 //! the algorithm takes a single round. The simulator tracks, per round, the
 //! maximum number of words resident on any machine so that the memory budget
-//! claim can be checked experimentally (experiment E8).
+//! claim can be checked experimentally (experiment E8). As in the
+//! coordinator model, every maximum-matching solve (per-machine coresets,
+//! machine `M`'s composed solve) runs on the compacted, epoch-reset,
+//! warm-started [`matching::MatchingEngine`] (experiment E13).
 
 use crate::comm::CostModel;
 use coresets::matching_coreset::MatchingCoresetBuilder;

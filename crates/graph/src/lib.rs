@@ -12,6 +12,9 @@
 //!   extension.
 //! * [`GraphView`] / [`GraphRef`] — borrowed, zero-copy edge-slice views and
 //!   the representation-agnostic trait every solver in the workspace accepts.
+//! * [`VertexCompactor`] — epoch-stamped relabeling of a graph onto its
+//!   non-isolated vertices, the front door of the matching engine's solver
+//!   hot path (sparse pieces over a huge vertex set).
 //! * [`partition`] — the *random k-partitioning* of the edge set that defines
 //!   the model of the paper, plus adversarial partitionings used as negative
 //!   controls. [`PartitionedGraph`] stores the partition as a single
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bipartite;
+pub mod compact;
 pub mod csr;
 pub mod edge;
 pub mod error;
@@ -43,6 +47,7 @@ pub mod view;
 pub mod weighted;
 
 pub use bipartite::BipartiteGraph;
+pub use compact::VertexCompactor;
 pub use csr::Csr;
 pub use edge::{Edge, VertexId, WeightedEdge};
 pub use error::GraphError;

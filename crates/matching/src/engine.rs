@@ -1,0 +1,232 @@
+//! The maximum-matching engine: compaction + fused dispatch + warm starts.
+//!
+//! [`MatchingEngine`] is the solver hot path behind
+//! [`maximum_matching`](crate::maximum::maximum_matching) and the protocol
+//! layers. One solve performs exactly these steps:
+//!
+//! 1. **Vertex compaction** — relabel the input onto its non-isolated
+//!    vertices with the engine's reusable
+//!    [`VertexCompactor`]. The paper's regime is
+//!    sparse pieces over a huge vertex set (a `gnp(1e5, 2e-4)` piece under
+//!    `k = 16` leaves ~29% of the ids isolated, and the coordinator's
+//!    coreset union touches even fewer), so every downstream per-vertex
+//!    array shrinks to the live vertex count.
+//! 2. **One shared CSR** — built once from the compacted edges and walked by
+//!    *both* the bipartiteness check
+//!    ([`two_coloring_with_csr`]) and
+//!    the solver. The old `Auto` dispatch built a CSR for the colouring,
+//!    threw it away, then re-walked the edge list to materialize a
+//!    `BipartiteGraph`; the fused path feeds Hopcroft–Karp
+//!    ([`hopcroft_karp_on_csr`])
+//!    straight from the colouring.
+//! 3. **Epoch-reset blossom** — non-bipartite inputs run
+//!    [`blossom_on_csr`] on the engine's
+//!    reusable [`BlossomWorkspace`], whose per-search cost is proportional
+//!    to the vertices the search touches (no `O(n)` clears, no per-search
+//!    allocations).
+//! 4. **Warm starts** — [`MatchingEngine::solve_warm`] seeds the solver with
+//!    a known matching. The coordinator uses this to start the composed
+//!    solve from the best per-machine coreset: the union of `k` matchings
+//!    has maximum degree ≤ `k` and already contains a matching of size
+//!    ≥ OPT/3 of the union, so most augmenting work is skipped.
+//!
+//! The free functions in [`crate::maximum`] run on a per-thread engine
+//! (`thread_local`), so the protocol layers get cross-solve buffer reuse for
+//! free: each worker thread of the parallel machine fan-out keeps one engine
+//! for all the pieces it processes. Outputs are independent of workspace
+//! history (the epoch stamps make stale state invisible), so this reuse is
+//! invisible to the determinism guarantees.
+
+use crate::blossom::blossom_on_csr;
+use crate::hopcroft_karp::hopcroft_karp_on_csr;
+use crate::matching::Matching;
+use crate::maximum::{two_coloring_with_csr, MaximumMatchingAlgorithm};
+use crate::workspace::BlossomWorkspace;
+use graph::{Csr, Edge, GraphRef, VertexCompactor};
+use std::cell::RefCell;
+
+/// A reusable maximum-matching solver: compaction scratch + blossom
+/// workspace, allocated once and reused across solves.
+///
+/// See the [module docs](self) for the solve pipeline. Construct one per
+/// long-lived worker (or use the thread-local engine behind
+/// [`crate::maximum::maximum_matching`]).
+#[derive(Debug, Clone, Default)]
+pub struct MatchingEngine {
+    compactor: VertexCompactor,
+    workspace: BlossomWorkspace,
+}
+
+impl MatchingEngine {
+    /// Creates an engine with empty (lazily grown) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes a maximum matching of `g` with automatic algorithm selection.
+    pub fn solve<G: GraphRef + ?Sized>(&mut self, g: &G) -> Matching {
+        self.solve_with(g, MaximumMatchingAlgorithm::Auto)
+    }
+
+    /// Computes a maximum matching of `g` with the requested algorithm.
+    pub fn solve_with<G: GraphRef + ?Sized>(
+        &mut self,
+        g: &G,
+        algorithm: MaximumMatchingAlgorithm,
+    ) -> Matching {
+        self.solve_inner(g, None, algorithm)
+    }
+
+    /// Computes a maximum matching of `g`, seeded with `warm`.
+    ///
+    /// `warm` must be a valid matching whose edges all belong to `g` (the
+    /// coordinator's warm start — the best per-machine coreset — satisfies
+    /// this by construction since every coreset is a subgraph of the union).
+    /// Warm edges with an endpoint unknown to the compacted graph are
+    /// ignored defensively. The result is a maximum matching of `g`; only
+    /// the solver work changes, never the returned size.
+    pub fn solve_warm<G: GraphRef + ?Sized>(
+        &mut self,
+        g: &G,
+        warm: &Matching,
+        algorithm: MaximumMatchingAlgorithm,
+    ) -> Matching {
+        self.solve_inner(g, Some(warm), algorithm)
+    }
+
+    /// Read access to the blossom workspace (search / full-reset counters).
+    pub fn workspace(&self) -> &BlossomWorkspace {
+        &self.workspace
+    }
+
+    fn solve_inner<G: GraphRef + ?Sized>(
+        &mut self,
+        g: &G,
+        warm: Option<&Matching>,
+        algorithm: MaximumMatchingAlgorithm,
+    ) -> Matching {
+        if g.is_empty() {
+            // No edges: the empty matching is maximum, and HopcroftKarp's
+            // "must be bipartite" contract holds vacuously.
+            return Matching::new();
+        }
+        self.compactor.compact(g);
+        let adj = Csr::from_edges(self.compactor.n_local(), self.compactor.local_edges());
+        let warm_local: Vec<Edge> = warm
+            .map(|m| {
+                m.edges()
+                    .iter()
+                    .filter_map(|&e| self.compactor.to_local_edge(e))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let local_edges = match algorithm {
+            MaximumMatchingAlgorithm::Blossom => {
+                blossom_on_csr(&adj, &mut self.workspace, &warm_local)
+            }
+            MaximumMatchingAlgorithm::HopcroftKarp => {
+                let color = two_coloring_with_csr(&adj)
+                    .expect("HopcroftKarp requested on a non-bipartite graph");
+                hopcroft_karp_on_csr(&adj, &color, &warm_local)
+            }
+            MaximumMatchingAlgorithm::Auto => match two_coloring_with_csr(&adj) {
+                Some(color) => hopcroft_karp_on_csr(&adj, &color, &warm_local),
+                None => blossom_on_csr(&adj, &mut self.workspace, &warm_local),
+            },
+        };
+        Matching::from_edges(self.compactor.expand_edges(&local_edges))
+    }
+}
+
+thread_local! {
+    static THREAD_ENGINE: RefCell<MatchingEngine> = RefCell::new(MatchingEngine::new());
+}
+
+/// Runs `f` on the calling thread's reusable engine (falling back to a fresh
+/// engine in the re-entrant case, which keeps the API panic-free).
+pub(crate) fn with_thread_engine<T>(f: impl FnOnce(&mut MatchingEngine) -> T) -> T {
+    THREAD_ENGINE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut engine) => f(&mut engine),
+        Err(_) => f(&mut MatchingEngine::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::brute_force_maximum_matching_size;
+    use graph::gen::er::gnp;
+    use graph::Graph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn engine_reuse_matches_fresh_solves_and_brute_force() {
+        let mut engine = MatchingEngine::new();
+        for seed in 0..15 {
+            let g = gnp(12, 0.25, &mut rng(seed));
+            let m = engine.solve(&g);
+            assert!(m.is_valid_for(&g));
+            assert_eq!(m.len(), brute_force_maximum_matching_size(&g), "{seed}");
+        }
+        assert_eq!(engine.workspace().full_resets(), 0);
+    }
+
+    #[test]
+    fn matching_is_on_original_ids_after_compaction() {
+        // Vertices live at sparse ids; the matching must come back on them.
+        let g = Graph::from_pairs(1000, vec![(10, 990), (500, 600), (10, 500)]).unwrap();
+        let mut engine = MatchingEngine::new();
+        let m = engine.solve(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn zero_per_search_resets_across_many_solves() {
+        // The epoch counters are the whole point: a long-lived engine must
+        // never fall back to an O(n) clear. Force Blossom so searches run
+        // even on bipartite draws.
+        let mut engine = MatchingEngine::new();
+        for seed in 0..20 {
+            let g = gnp(300, 0.02, &mut rng(seed + 100));
+            let m = engine.solve_with(&g, MaximumMatchingAlgorithm::Blossom);
+            assert!(m.is_valid_for(&g));
+        }
+        assert!(
+            engine.workspace().searches() > 0,
+            "blossom must have run augmenting searches"
+        );
+        assert_eq!(
+            engine.workspace().full_resets(),
+            0,
+            "no O(n) workspace reset may ever happen under epoch stamps"
+        );
+    }
+
+    #[test]
+    fn empty_graph_solves_to_empty_matching() {
+        let mut engine = MatchingEngine::new();
+        assert!(engine.solve(&Graph::empty(5)).is_empty());
+        assert!(engine
+            .solve_with(&Graph::empty(5), MaximumMatchingAlgorithm::HopcroftKarp)
+            .is_empty());
+    }
+
+    #[test]
+    fn warm_start_with_partially_unmapped_edges_is_ignored_gracefully() {
+        // Warm matching mentions vertices isolated in g's compacted form:
+        // those edges are skipped, the rest seed the solver.
+        let g = Graph::from_pairs(10, vec![(0, 1), (2, 3)]).unwrap();
+        let warm = Matching::from_edges(vec![Edge::new(0, 1), Edge::new(7, 8)]);
+        let mut engine = MatchingEngine::new();
+        let m = engine.solve_warm(&g, &warm, MaximumMatchingAlgorithm::Auto);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid_for(&g));
+    }
+}

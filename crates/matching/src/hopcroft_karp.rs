@@ -4,21 +4,25 @@
 //! (all of the paper's hard distributions are bipartite) — Theorem 1 only
 //! requires *some* maximum matching of each piece, and Hopcroft–Karp provides
 //! it fast enough for the large-n experiments.
+//!
+//! Two front ends share the same BFS/DFS phase machinery:
+//!
+//! * [`hopcroft_karp`] / [`hopcroft_karp_size`] operate on an explicit
+//!   [`BipartiteGraph`] via its flat [`BipartiteGraph::left_csr`].
+//! * [`hopcroft_karp_on_csr`] is the fused path used by the matching
+//!   engine's `Auto` dispatch: it runs directly on a general-graph [`Csr`]
+//!   plus the 2-colouring that proved bipartiteness, so no intermediate
+//!   `BipartiteGraph` (or `(left, right)` pair vector) is ever materialized.
 
 use graph::bipartite::LeftCsr;
-use graph::{BipartiteGraph, VertexId};
+use graph::{BipartiteGraph, Csr, Edge, VertexId};
 use std::collections::VecDeque;
 
 const NIL: u32 = u32::MAX;
 const INF: u32 = u32::MAX;
 
-/// Computes a maximum matching of the bipartite graph, returned as
-/// `(left, right)` pairs.
-///
-/// The left-side adjacency is built once as a flat CSR
-/// ([`BipartiteGraph::left_csr`]) — one contiguous allocation instead of the
-/// per-call `Vec<Vec<_>>` rebuild.
-pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
+/// Runs the phase loop on a left-CSR, returning `pair_left`.
+fn solve_pairs(g: &BipartiteGraph) -> Vec<u32> {
     let left_n = g.left_n();
     let right_n = g.right_n();
     let adj = g.left_csr();
@@ -27,6 +31,7 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
     let mut pair_left = vec![NIL; left_n];
     let mut pair_right = vec![NIL; right_n];
     let mut dist = vec![INF; left_n];
+    let mut stack = Vec::new();
 
     loop {
         if !bfs(&adj, &pair_left, &pair_right, &mut dist) {
@@ -34,7 +39,90 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
         }
         let mut augmented = false;
         for l in 0..left_n {
-            if pair_left[l] == NIL && dfs(l, &adj, &mut pair_left, &mut pair_right, &mut dist) {
+            if pair_left[l] == NIL
+                && dfs(
+                    l,
+                    &adj,
+                    &mut pair_left,
+                    &mut pair_right,
+                    &mut dist,
+                    &mut stack,
+                )
+            {
+                augmented = true;
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+    pair_left
+}
+
+/// Computes a maximum matching of the bipartite graph, returned as
+/// `(left, right)` pairs.
+///
+/// The left-side adjacency is built once as a flat CSR
+/// ([`BipartiteGraph::left_csr`]) — one contiguous allocation instead of the
+/// per-call `Vec<Vec<_>>` rebuild.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
+    let pair_left = solve_pairs(g);
+    (0..g.left_n())
+        .filter(|&l| pair_left[l] != NIL)
+        .map(|l| (l as VertexId, pair_left[l]))
+        .collect()
+}
+
+/// Computes only the maximum matching *size*: the matched entries of the
+/// internal `pair_left` array are counted directly, without materialising the
+/// `(left, right)` pair vector that [`hopcroft_karp`] returns.
+pub fn hopcroft_karp_size(g: &BipartiteGraph) -> usize {
+    solve_pairs(g).iter().filter(|&&p| p != NIL).count()
+}
+
+/// Maximum matching of a bipartite *general-graph* CSR, driven by a proper
+/// 2-colouring (`color[v] ∈ {0, 1}`, colour-0 vertices forming the left
+/// side). This is the fused dispatch path: the same [`Csr`] that the
+/// bipartiteness check walked is solved directly — no `BipartiteGraph`, no
+/// local-id relabeling, no pair-vector round trip.
+///
+/// `warm` optionally seeds the matching with vertex-disjoint edges of the
+/// graph (each necessarily joining the two colour classes); Hopcroft–Karp's
+/// phases then start from that matching instead of the empty one, which can
+/// only reduce the number of phases, never the returned size. Warm edges
+/// that are not edges of the graph are skipped (debug builds assert).
+/// Returns matched edges in ascending left-vertex order.
+pub fn hopcroft_karp_on_csr(adj: &Csr, color: &[u8], warm: &[Edge]) -> Vec<Edge> {
+    let n = adj.n();
+    debug_assert_eq!(color.len(), n);
+    // pair[v] = matched partner of v (either side), or NIL. Warm edges that
+    // are not edges of this graph are skipped (not just debug-asserted): a
+    // foreign edge seeded into `pair` would survive into the output and make
+    // it an invalid matching.
+    let mut pair = vec![NIL; n];
+    for e in warm {
+        if !adj.has_edge(e.u, e.v) {
+            debug_assert!(false, "warm edge {e:?} does not exist in the graph");
+            continue;
+        }
+        debug_assert_ne!(color[e.u as usize], color[e.v as usize]);
+        if pair[e.u as usize] == NIL && pair[e.v as usize] == NIL {
+            pair[e.u as usize] = e.v;
+            pair[e.v as usize] = e.u;
+        }
+    }
+    let lefts: Vec<u32> = (0..n as u32).filter(|&v| color[v as usize] == 0).collect();
+    // dist is indexed by vertex id but only consulted for left vertices.
+    let mut dist = vec![INF; n];
+    let mut stack = Vec::new();
+
+    loop {
+        if !bfs_csr(adj, &lefts, &pair, &mut dist) {
+            break;
+        }
+        let mut augmented = false;
+        for &l in &lefts {
+            if pair[l as usize] == NIL && dfs_csr(l, adj, &mut pair, &mut dist, &mut stack) {
                 augmented = true;
             }
         }
@@ -43,15 +131,11 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Vec<(VertexId, VertexId)> {
         }
     }
 
-    (0..left_n)
-        .filter(|&l| pair_left[l] != NIL)
-        .map(|l| (l as VertexId, pair_left[l]))
+    lefts
+        .into_iter()
+        .filter(|&l| pair[l as usize] != NIL)
+        .map(|l| Edge::new(l, pair[l as usize]))
         .collect()
-}
-
-/// Computes only the maximum matching *size* (avoids materialising the pairs).
-pub fn hopcroft_karp_size(g: &BipartiteGraph) -> usize {
-    hopcroft_karp(g).len()
 }
 
 fn bfs(adj: &LeftCsr, pair_left: &[u32], pair_right: &[u32], dist: &mut [u32]) -> bool {
@@ -79,31 +163,131 @@ fn bfs(adj: &LeftCsr, pair_left: &[u32], pair_right: &[u32], dist: &mut [u32]) -
     found_augmenting
 }
 
+/// One stack frame of the iterative alternating-path DFS: the left vertex,
+/// the next neighbour index to try, and the right vertex currently descended
+/// through (to flip on success).
+type DfsFrame = (u32, u32, u32);
+
 fn dfs(
     l: usize,
     adj: &LeftCsr,
     pair_left: &mut [u32],
     pair_right: &mut [u32],
     dist: &mut [u32],
+    stack: &mut Vec<DfsFrame>,
 ) -> bool {
-    for i in 0..adj.degree(l) {
-        let r = adj.neighbors(l)[i] as usize;
-        let next = pair_right[r];
-        let extends = if next == NIL {
-            true
-        } else if dist[next as usize] == dist[l] + 1 {
-            dfs(next as usize, adj, pair_left, pair_right, dist)
-        } else {
-            false
-        };
-        if extends {
-            pair_left[l] = r as u32;
-            pair_right[r] = l as u32;
-            return true;
+    // Iterative version of the classic recursion (identical traversal order
+    // and output); augmenting paths grow with the phase number, so deep
+    // instances must not consume call stack.
+    stack.clear();
+    stack.push((l as u32, 0, NIL));
+    loop {
+        let depth = stack.len() - 1;
+        let (v, mut i, _) = stack[depth];
+        let neighbors = adj.neighbors(v as usize);
+        let mut descended = false;
+        while (i as usize) < neighbors.len() {
+            let r = neighbors[i as usize];
+            i += 1;
+            let next = pair_right[r as usize];
+            if next == NIL {
+                // Free right vertex: flip the whole alternating path.
+                stack[depth].2 = r;
+                for &(lv, _, rv) in stack.iter().rev() {
+                    pair_left[lv as usize] = rv;
+                    pair_right[rv as usize] = lv;
+                }
+                return true;
+            }
+            if dist[next as usize] == dist[v as usize] + 1 {
+                stack[depth] = (v, i, r);
+                stack.push((next, 0, NIL));
+                descended = true;
+                break;
+            }
+        }
+        if descended {
+            continue;
+        }
+        dist[v as usize] = INF;
+        stack.pop();
+        if stack.is_empty() {
+            return false;
         }
     }
-    dist[l] = INF;
-    false
+}
+
+/// BFS phase over the fused representation: left vertices and their partners
+/// live in the same id space, `pair` covers both sides.
+fn bfs_csr(adj: &Csr, lefts: &[u32], pair: &[u32], dist: &mut [u32]) -> bool {
+    let mut queue = VecDeque::new();
+    for &l in lefts {
+        if pair[l as usize] == NIL {
+            dist[l as usize] = 0;
+            queue.push_back(l);
+        } else {
+            dist[l as usize] = INF;
+        }
+    }
+    let mut found_augmenting = false;
+    while let Some(l) = queue.pop_front() {
+        for &r in adj.neighbors(l) {
+            let next = pair[r as usize];
+            if next == NIL {
+                found_augmenting = true;
+            } else if dist[next as usize] == INF {
+                dist[next as usize] = dist[l as usize] + 1;
+                queue.push_back(next);
+            }
+        }
+    }
+    found_augmenting
+}
+
+fn dfs_csr(
+    l: u32,
+    adj: &Csr,
+    pair: &mut [u32],
+    dist: &mut [u32],
+    stack: &mut Vec<DfsFrame>,
+) -> bool {
+    // Iterative alternating-path DFS over the fused representation (same
+    // traversal as the recursive classic; see `dfs`).
+    stack.clear();
+    stack.push((l, 0, NIL));
+    loop {
+        let depth = stack.len() - 1;
+        let (v, mut i, _) = stack[depth];
+        let neighbors = adj.neighbors(v);
+        let mut descended = false;
+        while (i as usize) < neighbors.len() {
+            let r = neighbors[i as usize];
+            i += 1;
+            let next = pair[r as usize];
+            if next == NIL {
+                stack[depth].2 = r;
+                for &(lv, _, rv) in stack.iter().rev() {
+                    pair[lv as usize] = rv;
+                    pair[rv as usize] = lv;
+                }
+                return true;
+            }
+            if dist[next as usize] == dist[v as usize] + 1 {
+                stack[depth] = (v, i, r);
+                stack.push((next, 0, NIL));
+                descended = true;
+                break;
+            }
+        }
+        if descended {
+            continue;
+        }
+        dist[v as usize] = INF;
+        stack.pop();
+        if stack.is_empty() {
+            return false;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,11 +373,49 @@ mod tests {
     }
 
     #[test]
+    fn size_agrees_with_pair_materialization() {
+        for seed in 0..5 {
+            let g = random_bipartite(25, 25, 0.1, &mut rng(seed + 40));
+            assert_eq!(hopcroft_karp_size(&g), hopcroft_karp(&g).len(), "{seed}");
+        }
+    }
+
+    #[test]
     fn output_edges_exist_in_graph() {
         let g = random_bipartite(40, 40, 0.08, &mut rng(7));
         let edge_set: HashSet<_> = g.edges().iter().copied().collect();
         for pair in hopcroft_karp(&g) {
             assert!(edge_set.contains(&pair));
+        }
+    }
+
+    #[test]
+    fn fused_csr_path_matches_bipartite_path() {
+        for seed in 0..10 {
+            let bg = random_bipartite(30, 30, 0.08, &mut rng(seed + 300));
+            // The side-agnostic encoding: right ids offset by left_n, so the
+            // canonical colouring is 0 for v < left_n and 1 otherwise.
+            let g = bg.to_graph();
+            let adj = Csr::from_ref(&g);
+            let color: Vec<u8> = (0..g.n()).map(|v| u8::from(v >= bg.left_n())).collect();
+            let fused = hopcroft_karp_on_csr(&adj, &color, &[]);
+            assert_eq!(fused.len(), hopcroft_karp_size(&bg), "seed {seed}");
+            let edge_set: HashSet<_> = g.edges().iter().copied().collect();
+            assert!(fused.iter().all(|e| edge_set.contains(e)));
+        }
+    }
+
+    #[test]
+    fn fused_csr_warm_start_keeps_maximum_size() {
+        for seed in 0..5 {
+            let bg = random_bipartite(40, 40, 0.06, &mut rng(seed + 700));
+            let g = bg.to_graph();
+            let adj = Csr::from_ref(&g);
+            let color: Vec<u8> = (0..g.n()).map(|v| u8::from(v >= bg.left_n())).collect();
+            let cold = hopcroft_karp_on_csr(&adj, &color, &[]);
+            let warm_seed = crate::greedy::maximal_matching(&g);
+            let warm = hopcroft_karp_on_csr(&adj, &color, warm_seed.edges());
+            assert_eq!(cold.len(), warm.len(), "seed {seed}");
         }
     }
 }

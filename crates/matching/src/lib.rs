@@ -14,6 +14,11 @@
 //!   graphs.
 //! * [`maximum`] — a front-end that picks Hopcroft–Karp when the graph is
 //!   bipartite and Blossom otherwise.
+//! * [`engine`] — the solver hot path behind [`maximum`]: vertex compaction,
+//!   one CSR shared by the bipartiteness check and the solver, warm starts,
+//!   and per-thread buffer reuse.
+//! * [`workspace`] — the epoch-reset [`BlossomWorkspace`] that removes the
+//!   per-search `O(n)` clears and allocations from the blossom algorithm.
 //! * [`weighted`] — greedy weighted matching and the Crouch–Stubbs
 //!   weight-class reduction used by the paper's weighted extension.
 
@@ -21,15 +26,19 @@
 #![forbid(unsafe_code)]
 
 pub mod blossom;
+pub mod engine;
 pub mod greedy;
 pub mod hopcroft_karp;
 pub mod matching;
 pub mod maximum;
 pub mod weighted;
+pub mod workspace;
 
-pub use blossom::blossom_maximum_matching;
+pub use blossom::{blossom_maximum_matching, blossom_maximum_matching_with};
+pub use engine::MatchingEngine;
 pub use greedy::{maximal_matching, maximal_matching_by_key, maximal_matching_shuffled};
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
-pub use maximum::{maximum_matching, MaximumMatchingAlgorithm};
+pub use maximum::{maximum_matching, maximum_matching_warm, MaximumMatchingAlgorithm};
 pub use weighted::{crouch_stubbs_matching, greedy_weighted_matching, WeightedMatching};
+pub use workspace::BlossomWorkspace;

@@ -6,9 +6,17 @@
 //! algorithm otherwise; [`MaximumMatchingAlgorithm`] lets callers force a
 //! specific algorithm, which the experiments use to confirm that the coreset
 //! quality is indeed independent of the algorithm choice.
+//!
+//! All of the free functions here route through a per-thread
+//! [`MatchingEngine`](crate::engine::MatchingEngine): each solve compacts the
+//! graph onto its non-isolated vertices, builds **one** CSR shared by the
+//! bipartiteness check and the solver, and reuses the engine's epoch-reset
+//! [`BlossomWorkspace`](crate::workspace::BlossomWorkspace) across solves.
+//! [`maximum_matching_warm`] additionally seeds the solver with a known
+//! matching (the coordinator warm-starts the composed solve from the best
+//! per-machine coreset).
 
-use crate::blossom::blossom_maximum_matching;
-use crate::hopcroft_karp::hopcroft_karp;
+use crate::engine::with_thread_engine;
 use crate::matching::Matching;
 use graph::{BipartiteGraph, Csr, Edge, GraphRef, VertexId};
 use std::collections::VecDeque;
@@ -32,23 +40,13 @@ pub enum MaximumMatchingAlgorithm {
 
 /// Computes a maximum matching of `g` using the requested algorithm.
 ///
-/// Accepts any [`GraphRef`] — an owned `Graph` or a zero-copy `GraphView`.
+/// Accepts any [`GraphRef`] — an owned `Graph` or a zero-copy `GraphView` —
+/// and runs on the calling thread's reusable [`crate::engine::MatchingEngine`].
 pub fn maximum_matching_with<G: GraphRef + ?Sized>(
     g: &G,
     algorithm: MaximumMatchingAlgorithm,
 ) -> Matching {
-    match algorithm {
-        MaximumMatchingAlgorithm::Blossom => blossom_maximum_matching(g),
-        MaximumMatchingAlgorithm::HopcroftKarp => {
-            let coloring =
-                two_coloring(g).expect("HopcroftKarp requested on a non-bipartite graph");
-            hopcroft_karp_on_coloring(g, &coloring)
-        }
-        MaximumMatchingAlgorithm::Auto => match two_coloring(g) {
-            Some(coloring) => hopcroft_karp_on_coloring(g, &coloring),
-            None => blossom_maximum_matching(g),
-        },
-    }
+    with_thread_engine(|engine| engine.solve_with(g, algorithm))
 }
 
 /// Computes a maximum matching of `g` with the default (auto) algorithm.
@@ -56,17 +54,45 @@ pub fn maximum_matching<G: GraphRef + ?Sized>(g: &G) -> Matching {
     maximum_matching_with(g, MaximumMatchingAlgorithm::Auto)
 }
 
+/// Computes a maximum matching of `g`, warm-started from `warm` — a valid
+/// matching whose edges all belong to `g`. The warm start can only reduce
+/// solver work (fewer augmenting searches / phases); the returned matching is
+/// still maximum, so its *size* is identical to a cold solve.
+pub fn maximum_matching_warm<G: GraphRef + ?Sized>(
+    g: &G,
+    warm: &Matching,
+    algorithm: MaximumMatchingAlgorithm,
+) -> Matching {
+    with_thread_engine(|engine| engine.solve_warm(g, warm, algorithm))
+}
+
 /// Attempts to 2-colour the graph; returns `Some(color)` (0/1 per vertex) if
 /// bipartite and `None` if an odd cycle exists. Isolated vertices get colour 0.
+///
+/// Builds a [`Csr`] internally; callers that already hold the graph's CSR
+/// (the engine's fused dispatch) should use [`two_coloring_with_csr`].
 pub fn two_coloring<G: GraphRef + ?Sized>(g: &G) -> Option<Vec<u8>> {
-    let adj = Csr::from_ref(g);
-    let mut color = vec![u8::MAX; g.n()];
+    two_coloring_with_csr(&Csr::from_ref(g))
+}
+
+/// [`two_coloring`] over a caller-supplied CSR, so `Auto` dispatch can share
+/// one adjacency build between the bipartiteness check and the solver.
+///
+/// Isolated vertices are coloured 0 directly, without the queue push/pop a
+/// BFS seeding would cost (sparse pieces of a large partition are mostly
+/// isolated vertices).
+pub fn two_coloring_with_csr(adj: &Csr) -> Option<Vec<u8>> {
+    let n = adj.n();
+    let mut color = vec![u8::MAX; n];
     let mut queue = VecDeque::new();
-    for start in 0..g.n() {
+    for start in 0..n {
         if color[start] != u8::MAX {
             continue;
         }
         color[start] = 0;
+        if adj.degree(start as VertexId) == 0 {
+            continue;
+        }
         queue.push_back(start as u32);
         while let Some(v) = queue.pop_front() {
             for &w in adj.neighbors(v) {
@@ -80,43 +106,6 @@ pub fn two_coloring<G: GraphRef + ?Sized>(g: &G) -> Option<Vec<u8>> {
         }
     }
     Some(color)
-}
-
-/// Runs Hopcroft–Karp on a graph with a known 2-colouring and maps the result
-/// back to the graph's own vertex ids.
-fn hopcroft_karp_on_coloring<G: GraphRef + ?Sized>(g: &G, color: &[u8]) -> Matching {
-    // Map colour-0 vertices to left ids and colour-1 vertices to right ids.
-    let mut left_ids = Vec::new();
-    let mut right_ids = Vec::new();
-    let mut to_local = vec![0u32; g.n()];
-    for v in 0..g.n() {
-        if color[v] == 0 {
-            to_local[v] = left_ids.len() as u32;
-            left_ids.push(v as VertexId);
-        } else {
-            to_local[v] = right_ids.len() as u32;
-            right_ids.push(v as VertexId);
-        }
-    }
-    let pairs: Vec<(VertexId, VertexId)> = g
-        .edges()
-        .iter()
-        .map(|e| {
-            if color[e.u as usize] == 0 {
-                (to_local[e.u as usize], to_local[e.v as usize])
-            } else {
-                (to_local[e.v as usize], to_local[e.u as usize])
-            }
-        })
-        .collect();
-    let bg = BipartiteGraph::from_pairs(left_ids.len(), right_ids.len(), pairs)
-        .expect("local ids are in range by construction");
-    let matched = hopcroft_karp(&bg);
-    let edges = matched
-        .into_iter()
-        .map(|(l, r)| Edge::new(left_ids[l as usize], right_ids[r as usize]))
-        .collect();
-    Matching::from_edges(edges)
 }
 
 /// Converts a bipartite matching (left, right) pairs into a [`Matching`] over
@@ -152,6 +141,25 @@ mod tests {
         assert!(two_coloring(&cycle(5)).is_none());
         assert!(two_coloring(&star(4)).is_some());
         assert!(two_coloring(&Graph::empty(3)).is_some());
+    }
+
+    #[test]
+    fn two_coloring_colors_isolated_vertices_zero() {
+        // Edge (1, 2) plus isolated vertices 0 and 3.
+        let g = Graph::from_pairs(4, vec![(1, 2)]).unwrap();
+        let color = two_coloring(&g).unwrap();
+        assert_eq!(color[0], 0);
+        assert_eq!(color[3], 0);
+        assert_ne!(color[1], color[2]);
+    }
+
+    #[test]
+    fn two_coloring_with_csr_matches_graph_entry_point() {
+        for seed in 0..10 {
+            let g = gnp(40, 0.06, &mut rng(seed + 10));
+            let adj = Csr::from_ref(&g);
+            assert_eq!(two_coloring(&g), two_coloring_with_csr(&adj), "{seed}");
+        }
     }
 
     #[test]
@@ -199,5 +207,17 @@ mod tests {
         // Two triangles sharing nothing: non-bipartite, maximum matching 2.
         let g = Graph::from_pairs(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
         assert_eq!(maximum_matching(&g).len(), 2);
+    }
+
+    #[test]
+    fn warm_start_returns_same_size_as_cold() {
+        for seed in 0..10 {
+            let g = gnp(60, 0.05, &mut rng(seed + 2000));
+            let cold = maximum_matching(&g);
+            let warm_seed = crate::greedy::maximal_matching(&g);
+            let warm = maximum_matching_warm(&g, &warm_seed, MaximumMatchingAlgorithm::Auto);
+            assert_eq!(cold.len(), warm.len(), "seed {seed}");
+            assert!(warm.is_valid_for(&g));
+        }
     }
 }

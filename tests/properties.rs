@@ -105,6 +105,31 @@ proptest! {
         prop_assert!(composed.len() >= best_single);
     }
 
+    /// The coordinator's warm-started composed solve (seeded from the best
+    /// per-machine coreset) returns exactly the size of a cold maximum
+    /// matching of the same union — warm starts save work, never quality.
+    #[test]
+    fn warm_started_composed_solve_size_identical_to_cold(
+        g in arb_graph(90, 500), k in 1usize..8, seed in any::<u64>()
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let part = EdgePartition::random(&g, k, &mut rng).unwrap();
+        let params = CoresetParams::new(g.n(), k);
+        let coresets: Vec<Graph> = part
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| MaximumMatchingCoreset::new().build(p.as_view(), &params, i, &mut machine_rng(seed, i)))
+            .collect();
+        // Warm-started path (solve_composed_matching seeds from the best
+        // coreset) vs a cold solve of the identical union.
+        let warm = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
+        let union = coresets::compose_matching(&coresets);
+        let cold = matching::maximum::maximum_matching_with(&union, MaximumMatchingAlgorithm::Auto);
+        prop_assert!(warm.is_valid_for(&union));
+        prop_assert_eq!(warm.len(), cold.len());
+    }
+
     /// The composed vertex-cover coreset always covers the original graph, and
     /// its size never exceeds n.
     #[test]
