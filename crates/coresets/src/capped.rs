@@ -8,6 +8,12 @@
 //! such caps deterministically (keeping a uniformly random subset of the
 //! coreset would only add noise; the cap keeps the first `cap` items, which is
 //! equivalent for the symmetric hard distributions).
+//!
+//! The underlying coreset constructions run on the worker thread's reusable
+//! engines (`matching::MatchingEngine` for the matching coreset,
+//! `vertexcover::VcEngine` for the peeling coreset), so the capped wrappers
+//! inherit the allocation-free hot paths of experiments E13/E14; only the
+//! cap itself copies (a bounded prefix of) the coreset.
 
 use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};
 use crate::params::CoresetParams;

@@ -6,15 +6,19 @@
 //!
 //! * [`compose_matching`] — union the matching-coreset subgraphs.
 //! * [`solve_composed_matching`] — union + maximum matching of the union.
-//! * [`compose_vertex_cover`] — union the fixed vertex sets, union the
-//!   residual subgraphs, cover the residual union with a 2-approximation, and
-//!   return the combined cover (paper, Section 3.2).
+//! * [`compose_vertex_cover`] — union the fixed vertex sets, cover the union
+//!   of the residual subgraphs with a 2-approximation, and return the
+//!   combined cover (paper, Section 3.2). The residual union is **never
+//!   materialized**: the 2-approximation scans the residual edge slices in
+//!   machine order through the thread's `vertexcover::VcEngine`
+//!   ([`vertexcover::two_approx_cover_concat`]), so the coordinator's VC
+//!   composition performs zero edge-buffer allocations.
 
 use crate::vc_coreset::VcCoresetOutput;
-use graph::Graph;
+use graph::{Edge, Graph};
 use matching::matching::Matching;
 use matching::maximum::{maximum_matching_warm, maximum_matching_with, MaximumMatchingAlgorithm};
-use vertexcover::approx::two_approx_cover;
+use vertexcover::approx::two_approx_cover_concat;
 use vertexcover::VertexCover;
 
 /// Unions matching-coreset subgraphs into the coordinator's composed graph.
@@ -62,13 +66,19 @@ fn best_piece_matching(coresets: &[Graph]) -> Option<Matching> {
 
 /// Composes vertex-cover coresets: the union of all fixed vertices plus a
 /// 2-approximate vertex cover of the union of the residual subgraphs.
+///
+/// The 2-approximation runs directly over the residual edge slices in
+/// machine order — duplicate edges across residuals are no-ops for the
+/// greedy maximal matching, so the cover equals the one computed on the
+/// materialized [`Graph::union`] (pinned by the composition tests) while
+/// allocating no union buffer at all.
 pub fn compose_vertex_cover(outputs: &[VcCoresetOutput]) -> VertexCover {
     if outputs.is_empty() {
         return VertexCover::new();
     }
-    let residuals: Vec<&Graph> = outputs.iter().map(|o| &o.residual).collect();
-    let union = Graph::union(&residuals);
-    let mut cover = two_approx_cover(&union);
+    let n = outputs.iter().map(|o| o.residual.n()).max().unwrap_or(0);
+    let slices: Vec<&[Edge]> = outputs.iter().map(|o| o.residual.edges()).collect();
+    let mut cover = two_approx_cover_concat(n, &slices);
     for o in outputs {
         for &v in &o.fixed_vertices {
             cover.insert(v);
@@ -182,5 +192,41 @@ mod tests {
         assert!(compose_vertex_cover(&[]).is_empty());
         let m = solve_composed_matching(&[Graph::empty(5)], MaximumMatchingAlgorithm::Auto);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unmaterialized_composition_equals_the_union_path() {
+        use vertexcover::approx::two_approx_cover;
+        let mut r = rng(4);
+        let g = gnp(700, 0.012, &mut r);
+        let k = 4;
+        let part = EdgePartition::random(&g, k, &mut r).unwrap();
+        let params = CoresetParams::new(g.n(), k);
+        let outputs: Vec<VcCoresetOutput> = part
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                PeelingVcCoreset::new().build(
+                    p.as_view(),
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(1, i),
+                )
+            })
+            .collect();
+        let cover = compose_vertex_cover(&outputs);
+        // Reference: materialize the union, 2-approximate it, add the fixed
+        // vertices — the pre-engine composition.
+        let residuals: Vec<&Graph> = outputs.iter().map(|o| &o.residual).collect();
+        let union = Graph::union(&residuals);
+        let mut reference = two_approx_cover(&union);
+        for o in &outputs {
+            for &v in &o.fixed_vertices {
+                reference.insert(v);
+            }
+        }
+        assert_eq!(cover, reference);
+        assert!(cover.covers(&g));
     }
 }

@@ -13,7 +13,7 @@
 //! * it is itself a valid (and cheaper) composition rule, and
 //! * experiment E10 traces its per-step growth to visualise Lemma 3.2.
 
-use graph::Graph;
+use graph::GraphRef;
 use matching::matching::Matching;
 
 /// Per-step trace of the `GreedyMatch` process.
@@ -39,7 +39,12 @@ impl GreedyMatchTrace {
 /// Returns the final matching and the per-step trace. The process works for
 /// any list of edge-disjoint subgraphs; edges of `coresets[i]` that conflict
 /// with the matching built so far are skipped, exactly as in the paper.
-pub fn greedy_match(n: usize, coresets: &[Graph]) -> (Matching, GreedyMatchTrace) {
+///
+/// Generic over [`GraphRef`], so callers holding zero-copy
+/// [`graph::GraphView`]s (arena pieces, borrowed coreset slices) can compose
+/// them directly — nothing is materialized into owned per-coreset `Graph`s
+/// (the `graph::metrics::piece_edges_materialized` counter stays untouched).
+pub fn greedy_match<G: GraphRef>(n: usize, coresets: &[G]) -> (Matching, GreedyMatchTrace) {
     let mut matched = vec![false; n];
     let mut matching = Matching::new();
     let mut trace = GreedyMatchTrace::default();
@@ -63,7 +68,7 @@ mod tests {
     use graph::gen::bipartite::planted_matching_bipartite;
     use graph::gen::er::gnp;
     use graph::partition::EdgePartition;
-    use graph::GraphRef;
+    use graph::{Graph, GraphRef};
     use matching::maximum::maximum_matching;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -175,7 +180,7 @@ mod tests {
 
     #[test]
     fn empty_and_degenerate_inputs() {
-        let (m, trace) = greedy_match(10, &[]);
+        let (m, trace) = greedy_match::<Graph>(10, &[]);
         assert!(m.is_empty());
         assert_eq!(trace.final_size(), 0);
 
@@ -183,5 +188,38 @@ mod tests {
         let (m, trace) = greedy_match(10, &empty_pieces);
         assert!(m.is_empty());
         assert_eq!(trace.sizes, vec![0, 0]);
+    }
+
+    #[test]
+    fn views_compose_identically_to_owned_graphs_without_materializing() {
+        let mut r = rng(4);
+        let g = gnp(250, 0.03, &mut r);
+        let k = 4;
+        let part = EdgePartition::random(&g, k, &mut r).unwrap();
+        let params = CoresetParams::new(g.n(), k);
+        let coresets: Vec<Graph> = part
+            .pieces()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                MaximumMatchingCoreset::new().build(
+                    p.as_view(),
+                    &params,
+                    i,
+                    &mut crate::streams::machine_rng(0, i),
+                )
+            })
+            .collect();
+        let before = graph::metrics::piece_edges_materialized();
+        let views = graph::views_of(&coresets);
+        let (from_views, trace_views) = greedy_match(g.n(), &views);
+        assert_eq!(
+            graph::metrics::piece_edges_materialized(),
+            before,
+            "composing views must not materialize owned per-coreset graphs"
+        );
+        let (from_owned, trace_owned) = greedy_match(g.n(), &coresets);
+        assert_eq!(from_views, from_owned);
+        assert_eq!(trace_views.sizes, trace_owned.sizes);
     }
 }

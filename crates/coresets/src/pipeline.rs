@@ -31,6 +31,17 @@
 //! best per-machine coreset (see [`crate::compose::solve_composed_matching`]).
 //! Experiment E13 (`exp_solver_hotpath`) measures this path against the
 //! pre-overhaul solver.
+//!
+//! **Vertex-cover hot path:** symmetrically, every peeling and
+//! 2-approximation call — the per-piece `VC-Coreset` peelings and the
+//! coordinator's composition — runs on the worker thread's reusable
+//! `vertexcover::VcEngine`: threshold rounds peel through a bucket queue in
+//! `O(vertices peeled + edges removed)` instead of rescanning the residual
+//! buffer, and the composed 2-approximation scans the residual slices
+//! without materializing their union. A full VC run performs **zero**
+//! per-round edge-buffer reallocations
+//! (`graph::metrics::vc_peel_scratch_elems` stays 0; experiment E14,
+//! `exp_vc_hotpath`, measures this path against the pre-engine peeling).
 
 use crate::compose::{compose_vertex_cover, solve_composed_matching};
 use crate::matching_coreset::{MatchingCoresetBuilder, MaximumMatchingCoreset};

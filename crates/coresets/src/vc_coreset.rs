@@ -10,6 +10,15 @@
 //! * [`GroupedVcCoreset`] — **Remark 5.8**: group vertices into groups of
 //!   `Θ(α / log n)`, run the Theorem 2 coreset on the contracted graph, and
 //!   expand groups back; an `α`-approximation with `Õ(nk/α)` communication.
+//!
+//! Every peeling and 2-approximation call below runs on the calling worker
+//! thread's reusable `vertexcover::VcEngine` (via the `vertexcover` free
+//! functions): the bucket-queue peeling core performs zero per-round
+//! edge-buffer reallocations — `graph::metrics::vc_peel_scratch_elems` stays
+//! 0 across a protocol run, asserted by experiment E14 (`exp_vc_hotpath`) and
+//! the determinism suite. Engine outputs are invariant under workspace
+//! reuse, so this sharing never affects the cross-thread-count determinism
+//! guarantee.
 
 use crate::params::CoresetParams;
 use graph::{Graph, GraphView, VertexId};
@@ -291,14 +300,11 @@ impl GroupedVcCoreset {
             .collect();
         let sizes: Vec<usize> = outputs.iter().map(VcCoresetOutput::size).collect();
 
-        let residuals: Vec<&Graph> = outputs.iter().map(|o| &o.residual).collect();
-        let union = Graph::union(&residuals);
-        let mut contracted_cover = two_approx_cover(&union);
-        for o in &outputs {
-            for &v in &o.fixed_vertices {
-                contracted_cover.insert(v);
-            }
-        }
+        // Coordinator composition in contracted space: 2-approximation over
+        // the residual slices (no union materialization) plus the fixed
+        // supervertices — the same engine-backed path as
+        // `crate::compose::compose_vertex_cover`.
+        let contracted_cover = crate::compose::compose_vertex_cover(&outputs);
         let expanded = self.expand(&contracted_cover.sorted_vertices(), params.n);
         (expanded, sizes)
     }

@@ -25,7 +25,10 @@
 //! ([`matching::MatchingEngine`]; experiment E13): each worker thread reuses
 //! one engine across the machines it simulates, and
 //! [`coresets::solve_composed_matching`] seeds the final solve with the best
-//! machine's matching.
+//! machine's matching. The vertex-cover side runs on the analogous
+//! `vertexcover::VcEngine` (experiment E14): bucket-queue peeling per
+//! machine and a union-free composed 2-approximation at the coordinator,
+//! with zero per-round edge-buffer reallocations across the whole run.
 
 use crate::comm::{CommunicationCost, CostModel};
 use coresets::matching_coreset::MatchingCoresetBuilder;

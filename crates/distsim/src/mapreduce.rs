@@ -16,7 +16,9 @@
 //! claim can be checked experimentally (experiment E8). As in the
 //! coordinator model, every maximum-matching solve (per-machine coresets,
 //! machine `M`'s composed solve) runs on the compacted, epoch-reset,
-//! warm-started [`matching::MatchingEngine`] (experiment E13).
+//! warm-started [`matching::MatchingEngine`] (experiment E13), and every
+//! vertex-cover peeling / composition runs on the bucket-queue
+//! `vertexcover::VcEngine` (experiment E14).
 
 use crate::comm::CostModel;
 use coresets::matching_coreset::MatchingCoresetBuilder;

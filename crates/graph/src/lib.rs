@@ -20,7 +20,8 @@
 //!   controls. [`PartitionedGraph`] stores the partition as a single
 //!   machine-sorted edge arena whose pieces are zero-copy views.
 //! * [`metrics`] — process-wide counters (edges materialized into owned
-//!   per-machine graphs) backing the data-path experiment E12.
+//!   per-machine graphs; legacy peeling scratch elements) backing the data-path
+//!   experiment E12 and the vertex-cover hot-path experiment E14.
 //! * [`gen`] — graph generators: Erdős–Rényi, random bipartite, planted
 //!   matchings, stars, power-law (Chung–Lu), and the paper's hard
 //!   distributions `D_Matching` (Section 4.1/5.1) and `D_VC` (Section 4.2/5.3).

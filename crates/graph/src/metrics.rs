@@ -14,9 +14,19 @@
 //! `BENCH_datapath.json`: the legacy path reports `m` edges per run, the
 //! arena path reports 0.
 
+//!
+//! A second counter plays the same role for the vertex-cover side:
+//! [`vc_peel_scratch_elems`] counts the elements of per-call / per-round scratch
+//! (edge-buffer copies, per-round degree arrays, peel flags) allocated by the
+//! *legacy* Parnas–Ron peeling path. The engine-backed peeling
+//! (`vertexcover::VcEngine`) performs none of those allocations, so a full VC
+//! protocol run leaves the counter untouched — experiment E14
+//! (`exp_vc_hotpath`) and the determinism suite assert exactly that.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PIECE_EDGES_MATERIALIZED: AtomicU64 = AtomicU64::new(0);
+static VC_PEEL_SCRATCH_WORDS: AtomicU64 = AtomicU64::new(0);
 
 /// Records that `edges` edges were copied into an owned per-machine graph.
 #[inline]
@@ -38,6 +48,31 @@ pub fn reset_piece_edges_materialized() {
     PIECE_EDGES_MATERIALIZED.store(0, Ordering::Relaxed);
 }
 
+/// Records that a peeling round (or call) allocated `words` words of scratch:
+/// an edge-buffer copy, a per-round degree array, or a per-call peel-flag
+/// array. Only the legacy (pre-engine) peeling path calls this.
+#[inline]
+pub fn record_vc_peel_scratch(words: usize) {
+    VC_PEEL_SCRATCH_WORDS.fetch_add(words as u64, Ordering::Relaxed);
+}
+
+/// Total scratch elements (edge slots, degree counters, peel flags)
+/// allocated by legacy peeling since the last
+/// [`reset_vc_peel_scratch`] (process-wide). Stays 0 across engine-backed
+/// protocol runs — the "zero per-round edge-buffer reallocations" claim of
+/// experiment E14.
+#[inline]
+pub fn vc_peel_scratch_elems() -> u64 {
+    VC_PEEL_SCRATCH_WORDS.load(Ordering::Relaxed)
+}
+
+/// Resets the peeling-scratch counter to zero (benchmarks call this between
+/// phases).
+#[inline]
+pub fn reset_vc_peel_scratch() {
+    VC_PEEL_SCRATCH_WORDS.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +87,13 @@ mod tests {
         record_piece_edges_materialized(7);
         record_piece_edges_materialized(3);
         assert!(piece_edges_materialized() >= before + 10);
+    }
+
+    #[test]
+    fn peel_scratch_counter_accumulates() {
+        let before = vc_peel_scratch_elems();
+        record_vc_peel_scratch(5);
+        record_vc_peel_scratch(4);
+        assert!(vc_peel_scratch_elems() >= before + 9);
     }
 }

@@ -6,66 +6,41 @@
 //!   computed to within a factor of 2").
 //! * [`greedy_degree_cover`] — repeatedly take a maximum-degree vertex; an
 //!   `H_Δ = O(log n)`-approximation used as an additional baseline.
+//!
+//! Both run on the calling thread's reusable
+//! [`VcEngine`](crate::engine::VcEngine): the 2-approximation is one stamped
+//! `O(m)` edge scan (no `vec![false; n]` per call), and the greedy cover
+//! compacts the graph onto its live vertices and reuses the engine's degree
+//! array, covered flags and heap. Outputs are identical to the pre-engine
+//! implementations and invariant under workspace reuse.
 
 use crate::cover::VertexCover;
-use graph::{Csr, GraphRef, VertexId};
-use matching::greedy::maximal_matching;
-use std::collections::BinaryHeap;
+use crate::engine::with_thread_engine;
+use graph::{Edge, GraphRef};
 
-/// 2-approximate vertex cover: take both endpoints of every edge of a maximal
-/// matching. Accepts any [`GraphRef`].
+/// 2-approximate vertex cover: take both endpoints of every edge of the
+/// greedy maximal matching over `g`'s edges in input order. Accepts any
+/// [`GraphRef`].
 pub fn two_approx_cover<G: GraphRef + ?Sized>(g: &G) -> VertexCover {
-    let m = maximal_matching(g);
-    let mut cover = VertexCover::new();
-    for e in m.edges() {
-        cover.insert(e.u);
-        cover.insert(e.v);
-    }
-    cover
+    with_thread_engine(|engine| engine.two_approx_cover(g))
+}
+
+/// 2-approximate vertex cover of the graph formed by concatenating the given
+/// edge slices (in order) over vertex ids `0..n`, **without materializing the
+/// union**: the greedy maximal matching scans the slices in sequence, and
+/// duplicate edges across slices are no-ops. Equals [`two_approx_cover`] on
+/// the (first-seen deduplicated) union graph — the coordinator composes the
+/// residual subgraphs of a vertex-cover protocol run through this entry
+/// point.
+pub fn two_approx_cover_concat(n: usize, slices: &[&[Edge]]) -> VertexCover {
+    with_thread_engine(|engine| engine.two_approx_concat(n, slices.iter().copied()))
 }
 
 /// Greedy maximum-degree vertex cover: repeatedly add the vertex covering the
-/// most uncovered edges. `O(m log n)` with a lazy-deletion heap over a CSR
-/// adjacency.
+/// most uncovered edges. `O(m log n)` with a lazy-deletion heap over the
+/// compacted CSR adjacency.
 pub fn greedy_degree_cover<G: GraphRef + ?Sized>(g: &G) -> VertexCover {
-    let adj = Csr::from_ref(g);
-    let n = g.n();
-    let mut remaining_degree: Vec<usize> = (0..n as VertexId).map(|v| adj.degree(v)).collect();
-    let mut covered = vec![false; n];
-    let mut uncovered_edges = g.m();
-
-    // Max-heap of (degree, vertex); entries can be stale, so re-check on pop.
-    let mut heap: BinaryHeap<(usize, VertexId)> = (0..n as VertexId)
-        .filter(|&v| remaining_degree[v as usize] > 0)
-        .map(|v| (remaining_degree[v as usize], v))
-        .collect();
-
-    let mut cover = VertexCover::new();
-    while uncovered_edges > 0 {
-        let (claimed_degree, v) = heap
-            .pop()
-            .expect("uncovered edges remain so the heap is non-empty");
-        if covered[v as usize] || claimed_degree != remaining_degree[v as usize] {
-            continue; // stale entry
-        }
-        if remaining_degree[v as usize] == 0 {
-            continue;
-        }
-        // Take v.
-        cover.insert(v);
-        covered[v as usize] = true;
-        for &w in adj.neighbors(v) {
-            if !covered[w as usize] {
-                uncovered_edges -= 1;
-                remaining_degree[w as usize] -= 1;
-                if remaining_degree[w as usize] > 0 {
-                    heap.push((remaining_degree[w as usize], w));
-                }
-            }
-        }
-        remaining_degree[v as usize] = 0;
-    }
-    cover
+    with_thread_engine(|engine| engine.greedy_degree_cover(g))
 }
 
 #[cfg(test)]
@@ -147,5 +122,19 @@ mod tests {
         let g = Graph::empty(7);
         assert!(two_approx_cover(&g).is_empty());
         assert!(greedy_degree_cover(&g).is_empty());
+    }
+
+    #[test]
+    fn concat_two_approx_equals_union_two_approx() {
+        let mut r = rng(9);
+        let a = gnp(50, 0.08, &mut r);
+        let b = gnp(50, 0.08, &mut r);
+        let union = Graph::union(&[&a, &b]);
+        let concat = two_approx_cover_concat(50, &[a.edges(), b.edges()]);
+        assert_eq!(concat, two_approx_cover(&union));
+        assert!(concat.covers(&union));
+        // Duplicate slices are no-ops.
+        let dup = two_approx_cover_concat(50, &[a.edges(), a.edges()]);
+        assert_eq!(dup, two_approx_cover(&a));
     }
 }

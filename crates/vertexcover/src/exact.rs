@@ -11,6 +11,7 @@
 //!   large bipartite instances (all of the paper's hard distributions).
 
 use crate::cover::VertexCover;
+use crate::engine::with_thread_engine;
 use graph::{BipartiteGraph, GraphRef, VertexId};
 use matching::hopcroft_karp::hopcroft_karp;
 use std::collections::VecDeque;
@@ -21,21 +22,23 @@ use std::collections::VecDeque;
 /// applies standard reductions — isolated vertices are ignored and a vertex
 /// adjacent to a degree-1 vertex is always taken — and branches on a
 /// maximum-degree vertex (`take it` vs `take its whole neighbourhood`).
+///
+/// Runs on the calling thread's reusable [`VcEngine`](crate::engine::VcEngine):
+/// the kernelization preamble builds its editable adjacency lists over the
+/// *compacted* (non-isolated) vertices only, so the per-call setup scales
+/// with the live vertex count rather than the full id space.
 pub fn exact_cover_branch_and_bound<G: GraphRef + ?Sized>(g: &G) -> VertexCover {
-    // Build editable adjacency sets directly from the edge list (same sorted
-    // per-vertex order the old `Adjacency` view produced).
-    let mut neighbors: Vec<Vec<VertexId>> = vec![Vec::new(); g.n()];
-    for e in g.edges() {
-        neighbors[e.u as usize].push(e.v);
-        neighbors[e.v as usize].push(e.u);
-    }
-    for list in &mut neighbors {
-        list.sort_unstable();
-    }
+    with_thread_engine(|engine| engine.exact_cover(g))
+}
+
+/// The branch-and-bound search over editable adjacency lists (local ids).
+/// Shared by the engine; the lists are restored to their input state before
+/// returning.
+pub(crate) fn branch_and_bound_on_lists(neighbors: &mut Vec<Vec<VertexId>>) -> Vec<VertexId> {
     let mut best: Option<Vec<VertexId>> = None;
     let mut current: Vec<VertexId> = Vec::new();
-    branch(&mut neighbors, &mut current, &mut best);
-    VertexCover::from_vertices(best.unwrap_or_default())
+    branch(neighbors, &mut current, &mut best);
+    best.unwrap_or_default()
 }
 
 /// Undo information for one `take_vertex` call: for each touched vertex, its

@@ -12,18 +12,26 @@
 //! * [`exact`] — exact minimum vertex cover: branch-and-bound for small
 //!   general graphs and König's theorem (via Hopcroft–Karp) for bipartite
 //!   graphs, used as ground truth in the experiments.
+//! * [`engine`] / [`workspace`] — the reusable [`VcEngine`] every free
+//!   function above runs on: vertex compaction, epoch-stamped scratch and
+//!   the bucket-queue peeling core (experiment E14, `exp_vc_hotpath`),
+//!   mirroring `matching::MatchingEngine` on the matching side.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod approx;
 pub mod cover;
+pub mod engine;
 pub mod exact;
 pub mod lp;
 pub mod peeling;
+pub mod workspace;
 
-pub use approx::{greedy_degree_cover, two_approx_cover};
+pub use approx::{greedy_degree_cover, two_approx_cover, two_approx_cover_concat};
 pub use cover::VertexCover;
+pub use engine::VcEngine;
 pub use exact::{exact_cover_branch_and_bound, koenig_cover};
 pub use lp::{lp_vertex_cover, HalfIntegralSolution};
 pub use peeling::{parnas_ron_peeling, PeelingOutcome};
+pub use workspace::VcWorkspace;

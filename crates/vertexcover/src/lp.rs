@@ -14,7 +14,8 @@
 //! non-bipartite inputs.
 
 use crate::cover::VertexCover;
-use graph::{BipartiteGraph, GraphRef, VertexId};
+use crate::engine::with_thread_engine;
+use graph::{GraphRef, VertexId};
 
 /// The half-integral optimum of the vertex-cover LP.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,25 +47,13 @@ impl HalfIntegralSolution {
 
 /// Solves the vertex-cover LP relaxation exactly (half-integral optimum) via
 /// König's theorem on the bipartite double cover.
+///
+/// Runs on the calling thread's reusable [`VcEngine`](crate::engine::VcEngine):
+/// the double cover is built over the *compacted* vertex set (isolated
+/// vertices have `x_v = 0` in every optimal half-integral solution, so they
+/// are relabeled away before the matching and filled back in afterwards).
 pub fn lp_vertex_cover<G: GraphRef + ?Sized>(g: &G) -> HalfIntegralSolution {
-    let n = g.n();
-    // Double cover: left copy and right copy of every vertex.
-    let pairs = g.edges().iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]);
-    let double = BipartiteGraph::from_pairs(n, n, pairs)
-        .expect("double-cover ids are in range by construction");
-    let cover = crate::exact::koenig_cover(&double);
-
-    let mut values = vec![0.0f64; n];
-    for v in cover.vertices() {
-        // Vertices 0..n are left copies, n..2n are right copies.
-        let original = if (v as usize) < n {
-            v as usize
-        } else {
-            v as usize - n
-        };
-        values[original] += 0.5;
-    }
-    HalfIntegralSolution { values }
+    with_thread_engine(|engine| engine.lp_vertex_cover(g))
 }
 
 #[cfg(test)]

@@ -11,8 +11,18 @@
 //! This module implements the *generic* peeling process parameterised by the
 //! threshold schedule; the coreset crate instantiates it with the paper's
 //! schedule `t_j = n / (k · 2^{j+1})`.
+//!
+//! The free functions run on the calling thread's reusable
+//! [`VcEngine`](crate::engine::VcEngine), whose bucket-queue core peels each
+//! round in `O(vertices peeled + edges removed)` with **zero** per-round
+//! edge-buffer reallocations. The pre-engine implementation is preserved as
+//! [`peel_with_thresholds_reference`] — the differential-testing baseline,
+//! whose per-call and per-round scratch allocations are recorded in
+//! [`graph::metrics::vc_peel_scratch_elems`] so protocol runs can assert they
+//! never take it.
 
 use crate::cover::VertexCover;
+use crate::engine::with_thread_engine;
 use graph::{Edge, Graph, GraphRef, VertexId};
 
 /// The result of running the peeling process on a graph.
@@ -47,21 +57,49 @@ impl PeelingOutcome {
 /// of zero are skipped (they would peel every vertex and make the outcome
 /// trivial).
 ///
-/// Accepts any [`GraphRef`] and never clones the input graph: the residual
-/// edge set is filtered in place in one working buffer, preserving the input
-/// edge order (exactly what the per-round `remove_vertices` chain produced).
+/// Accepts any [`GraphRef`] and runs on the calling thread's reusable
+/// [`VcEngine`](crate::engine::VcEngine). The residual preserves the input
+/// edge order (exactly what the per-round `remove_vertices` chain would
+/// produce).
+///
+/// **Workspace-reuse invariance:** the output is a pure function of
+/// `(g, thresholds)` — the engine's reused scratch is epoch-stamped, so
+/// peeling after any sequence of earlier solves returns the same rounds,
+/// vertex for vertex, as a fresh engine would
+/// (`tests/engine_equivalence.rs` pins this property).
 pub fn peel_with_thresholds<G: GraphRef + ?Sized>(g: &G, thresholds: &[usize]) -> PeelingOutcome {
+    with_thread_engine(|engine| engine.peel_with_thresholds(g, thresholds))
+}
+
+/// The pre-engine peeling implementation, kept verbatim as the differential
+/// baseline: one edge-buffer copy up front, then every round allocates a
+/// fresh degree array and rescans + `retain`s the whole residual buffer —
+/// `O(m · rounds + n · rounds)`.
+///
+/// Every scratch allocation is recorded in
+/// [`graph::metrics::vc_peel_scratch_elems`]; the engine path records
+/// nothing, which is how experiment E14 and the determinism suite assert
+/// that protocol runs never fall back to this path. Output is identical to
+/// [`peel_with_thresholds`], round by round (pinned by the
+/// engine-equivalence proptests).
+pub fn peel_with_thresholds_reference<G: GraphRef + ?Sized>(
+    g: &G,
+    thresholds: &[usize],
+) -> PeelingOutcome {
     let n = g.n();
     let mut edges: Vec<Edge> = g.edges().to_vec();
+    graph::metrics::record_vc_peel_scratch(edges.len());
     let mut peeled_per_round = Vec::with_capacity(thresholds.len());
     let mut used_thresholds = Vec::with_capacity(thresholds.len());
     let mut peeled_now = vec![false; n];
+    graph::metrics::record_vc_peel_scratch(n);
 
     for &t in thresholds {
         if t == 0 {
             continue;
         }
         let mut degrees = vec![0usize; n];
+        graph::metrics::record_vc_peel_scratch(n);
         for e in &edges {
             degrees[e.u as usize] += 1;
             degrees[e.v as usize] += 1;
@@ -87,18 +125,27 @@ pub fn peel_with_thresholds<G: GraphRef + ?Sized>(g: &G, thresholds: &[usize]) -
     }
 }
 
-/// The classic Parnas–Ron schedule on a single graph: thresholds
-/// `n/2, n/4, n/8, ...` down to `stop_at` (exclusive). Returns the outcome;
-/// the union of the peeled vertices plus a 2-approximate cover of the residual
-/// graph is an `O(log n)`-approximate vertex cover.
-pub fn parnas_ron_peeling<G: GraphRef + ?Sized>(g: &G, stop_at: usize) -> PeelingOutcome {
+/// The classic Parnas–Ron threshold schedule for an `n`-vertex graph:
+/// `n/2, n/4, n/8, ...` down to `stop_at` (exclusive).
+pub fn parnas_ron_schedule(n: usize, stop_at: usize) -> Vec<usize> {
     let mut thresholds = Vec::new();
-    let mut t = g.n() / 2;
+    let mut t = n / 2;
     while t > stop_at.max(1) {
         thresholds.push(t);
         t /= 2;
     }
-    peel_with_thresholds(g, &thresholds)
+    thresholds
+}
+
+/// The classic Parnas–Ron schedule on a single graph: thresholds
+/// `n/2, n/4, n/8, ...` down to `stop_at` (exclusive). Returns the outcome;
+/// the union of the peeled vertices plus a 2-approximate cover of the residual
+/// graph is an `O(log n)`-approximate vertex cover.
+///
+/// Runs on the calling thread's reusable engine; like
+/// [`peel_with_thresholds`], the output is invariant under workspace reuse.
+pub fn parnas_ron_peeling<G: GraphRef + ?Sized>(g: &G, stop_at: usize) -> PeelingOutcome {
+    peel_with_thresholds(g, &parnas_ron_schedule(g.n(), stop_at))
 }
 
 #[cfg(test)]
@@ -188,5 +235,24 @@ mod tests {
         let outcome = parnas_ron_peeling(&g, 2);
         assert_eq!(outcome.peeled_count(), 0);
         assert!(outcome.residual.is_empty());
+    }
+
+    #[test]
+    fn reference_path_records_scratch_and_matches_engine() {
+        // The counter is process-wide and tests run concurrently, so assert
+        // only monotone movement here; the engine path's *zero*-scratch
+        // claim is asserted in single-threaded contexts (experiment E14 and
+        // `tests/determinism.rs`, whose processes never call the reference).
+        let g = gnp(200, 0.05, &mut rng(4));
+        let schedule = parnas_ron_schedule(g.n(), 4);
+        let engine_out = peel_with_thresholds(&g, &schedule);
+        let before = graph::metrics::vc_peel_scratch_elems();
+        let reference = peel_with_thresholds_reference(&g, &schedule);
+        assert!(
+            graph::metrics::vc_peel_scratch_elems() > before,
+            "the reference path must record its per-round scratch"
+        );
+        assert_eq!(engine_out.peeled_per_round, reference.peeled_per_round);
+        assert_eq!(engine_out.residual, reference.residual);
     }
 }

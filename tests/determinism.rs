@@ -154,6 +154,49 @@ fn hard_instance_runs_are_thread_count_invariant() {
     });
 }
 
+/// E14's engine on the protocol path, pinned: for this fixed seed the VC
+/// pipeline's complete output — cover vertices and coreset sizes — is
+/// bit-identical at 1 / 4 worker threads *and* matches the recorded
+/// regression values, and the whole run performs zero legacy peeling-scratch
+/// allocations (`graph::metrics::vc_peel_scratch_elems` untouched — the
+/// "zero per-round edge-buffer reallocations" contract of the VcEngine).
+#[test]
+fn vc_pipeline_fixed_seed_regression_with_engine() {
+    // Dense enough that the peeling rounds actually fire on the pieces.
+    let g = workload(2000, 0.05, 14);
+    let scratch_before = graph::metrics::vc_peel_scratch_elems();
+    let run_once = || {
+        let run = DistributedVertexCover::new(4).run(&g, 49).unwrap();
+        (run.cover.sorted_vertices(), run.coreset_sizes)
+    };
+    let reference = with_threads(1, run_once);
+    let parallel = with_threads(4, run_once);
+    assert_eq!(parallel, reference, "1 vs 4 worker threads");
+    assert_eq!(
+        graph::metrics::vc_peel_scratch_elems(),
+        scratch_before,
+        "an engine-backed protocol run must never take the legacy peeling path"
+    );
+
+    // Fixed-seed regression: pin the exact output of the engine pipeline
+    // (the peeling rounds fire here — coreset sizes are well below the
+    // ~25k-edge pieces).
+    let (cover, coreset_sizes) = reference;
+    assert_eq!(cover.len(), 1992, "pinned cover size");
+    assert_eq!(
+        coreset_sizes,
+        vec![17077, 17103, 17245, 16805],
+        "pinned coreset sizes"
+    );
+    let fingerprint: u64 = cover
+        .iter()
+        .fold(0u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v as u64));
+    assert_eq!(
+        fingerprint, 0x840a_d37c_6594_3389,
+        "pinned cover fingerprint"
+    );
+}
+
 /// Different seeds still change the answer (the determinism above is not the
 /// degenerate "everything collapsed to one stream" kind).
 #[test]

@@ -272,6 +272,60 @@ fn trap_instance_separates_maximal_from_maximum() {
     }
 }
 
+/// The bucket-queue peeling engine on a skewed-degree (star-heavy) graph:
+/// high-degree centres force the threshold rounds to actually fire (the
+/// sparse-piece pre-screen cannot short-circuit), and the engine must agree
+/// with the pre-engine reference peeling round by round while the composed
+/// protocol stays feasible and far below the trivial cover.
+#[test]
+fn bucket_queue_peeling_on_star_heavy_graph() {
+    use graph::gen::er::gnp;
+    use graph::gen::structured::star_forest;
+    use graph::Graph;
+    use vertexcover::peeling::{peel_with_thresholds, peel_with_thresholds_reference};
+
+    // 30 stars of 600 leaves each, plus G(n, p) noise over the same vertex
+    // set: a heavy-tailed degree sequence (centres ~600, noise degree ~4).
+    let stars = star_forest(30, 600);
+    let n = stars.n();
+    let noise = gnp(n, 4.0 / n as f64, &mut rng(77));
+    let g = Graph::union(&[&stars, &noise]);
+
+    let k = 4;
+    let params = CoresetParams::new(n, k);
+    let schedule = params.peeling_schedule();
+    assert!(
+        !schedule.is_empty() && *schedule.last().unwrap() < 600,
+        "the schedule must reach the star centres"
+    );
+
+    // Whole-graph peeling: engine vs reference, round by round.
+    let engine_out = peel_with_thresholds(&g, &schedule);
+    let reference = peel_with_thresholds_reference(&g, &schedule);
+    assert_eq!(engine_out.peeled_per_round, reference.peeled_per_round);
+    assert_eq!(engine_out.thresholds, reference.thresholds);
+    assert_eq!(engine_out.residual, reference.residual);
+    // Every centre (ids 0, 601, 1202, …) is eventually peeled.
+    let peeled = engine_out.peeled_cover();
+    for s in 0..30u32 {
+        assert!(peeled.contains(s * 601), "centre {s} must be peeled");
+    }
+
+    // Per-piece peeling through the full protocol: feasible, and the peeled
+    // centres strip the star edges out of the residual coresets, so the
+    // total communication drops well below the input size.
+    let vc = coresets::DistributedVertexCover::new(k).run(&g, 7).unwrap();
+    assert!(vc.cover.covers(&g));
+    assert!(vc.cover.len() < n, "cover must be non-trivial");
+    assert!(
+        vc.total_coreset_size() < g.m() - 12_000,
+        "peeling the centres must strip most star edges from the coresets \
+         (total {} vs m {})",
+        vc.total_coreset_size(),
+        g.m()
+    );
+}
+
 /// Structural sanity of the hard distributions at scale (beyond the unit
 /// tests): sizes and certified optima match the construction.
 #[test]
