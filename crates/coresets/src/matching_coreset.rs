@@ -157,7 +157,7 @@ impl MatchingCoresetBuilder for MaximalMatchingCoreset {
 #[derive(Debug, Clone, Default)]
 pub struct AvoidingMaximalMatchingCoreset {
     /// The edges the adversary tries to keep out of the matching.
-    pub avoid: std::collections::HashSet<Edge>,
+    pub avoid: std::collections::BTreeSet<Edge>,
 }
 
 impl AvoidingMaximalMatchingCoreset {

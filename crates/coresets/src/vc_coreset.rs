@@ -267,7 +267,7 @@ impl GroupedVcCoreset {
                 has_internal_edge[a as usize] = true;
             }
         }
-        let already: std::collections::HashSet<VertexId> =
+        let already: std::collections::BTreeSet<VertexId> =
             out.fixed_vertices.iter().copied().collect();
         for (group, flag) in has_internal_edge.iter().enumerate() {
             if *flag && !already.contains(&(group as VertexId)) {

@@ -17,7 +17,7 @@
 use graph::{Edge, WeightedGraph};
 use matching::maximum::maximum_matching;
 use matching::weighted::WeightedMatching;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One machine's weighted matching coreset: for each geometric weight class,
 /// the edges of a maximum matching of that class's (unweighted) subgraph,
@@ -89,8 +89,9 @@ impl WeightedMatchingCoreset {
 pub fn compose_weighted_matching(n: usize, outputs: &[WeightedCoresetOutput]) -> WeightedMatching {
     // Bucket the union of coreset edges by class lower bound (bit pattern of
     // the f64 is a stable key because every machine derives bounds from the
-    // same `base`).
-    let mut buckets: HashMap<u64, (f64, Vec<(Edge, f64)>)> = HashMap::new();
+    // same `base`). A BTreeMap keyed on the bit pattern keeps the bucket walk
+    // (and therefore the composed matching) independent of hash seeds.
+    let mut buckets: BTreeMap<u64, (f64, Vec<(Edge, f64)>)> = BTreeMap::new();
     for out in outputs {
         for (bound, edges) in &out.classes {
             let entry = buckets
@@ -107,7 +108,9 @@ pub fn compose_weighted_matching(n: usize, outputs: &[WeightedCoresetOutput]) ->
     let mut result = WeightedMatching::default();
     for (_, edges) in classes {
         // Maximum matching of this class's union (dedup edges first).
-        let mut weight_of: HashMap<Edge, f64> = HashMap::with_capacity(edges.len());
+        // Sorted map: `weight_of.keys()` feeds the class graph's edge list,
+        // so its iteration order must be deterministic.
+        let mut weight_of: BTreeMap<Edge, f64> = BTreeMap::new();
         for (e, w) in &edges {
             let slot = weight_of.entry(*e).or_insert(*w);
             *slot = slot.max(*w);

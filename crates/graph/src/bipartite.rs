@@ -10,7 +10,8 @@ use crate::edge::VertexId;
 use crate::error::GraphError;
 use crate::graph::Graph;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+// Membership-only dedup probes below; iteration order never observed.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// A bipartite graph with `left_n` left vertices and `right_n` right
 /// vertices. Edges are pairs `(l, r)` with `l < left_n` and `r < right_n`;
@@ -38,7 +39,7 @@ impl BipartiteGraph {
     where
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
-        let mut seen = HashSet::new();
+        let mut seen = HashSet::new(); // xtask: allow(hash-collections)
         let mut edges = Vec::new();
         for (l, r) in pairs {
             if l as usize >= left_n {
@@ -66,7 +67,7 @@ impl BipartiteGraph {
     ) -> Self {
         #[cfg(debug_assertions)]
         {
-            let mut seen = HashSet::with_capacity(edges.len());
+            let mut seen = HashSet::with_capacity(edges.len()); // xtask: allow(hash-collections)
             for &(l, r) in &edges {
                 debug_assert!((l as usize) < left_n && (r as usize) < right_n);
                 debug_assert!(seen.insert((l, r)), "duplicate bipartite edge ({l}, {r})");

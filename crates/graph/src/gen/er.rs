@@ -4,7 +4,8 @@ use crate::edge::Edge;
 use crate::graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+// Membership-only rejection-sampling dedup; iteration order never observed.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// Samples `G(n, p)`: every unordered pair becomes an edge independently with
 /// probability `p`.
@@ -79,7 +80,7 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
     }
 
     // Sparse: rejection-sample distinct pairs.
-    let mut seen = HashSet::with_capacity(m * 2);
+    let mut seen = HashSet::with_capacity(m * 2); // xtask: allow(hash-collections)
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
         let u = rng.gen_range(0..n as u32);

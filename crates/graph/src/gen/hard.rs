@@ -25,7 +25,7 @@ use crate::gen::bipartite::random_matching_between;
 use crate::graph::Graph;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A sample from the matching lower-bound distribution `D_Matching`.
 #[derive(Debug, Clone)]
@@ -230,8 +230,8 @@ pub struct TrapInstance {
     pub trap_vertices: Vec<VertexId>,
     /// Edges of the trap block `A x C`.
     pub trap_edges: Vec<Edge>,
-    /// Membership set for O(1) trap-edge queries.
-    trap_set: HashSet<Edge>,
+    /// Membership set for O(log) trap-edge queries (sorted, hash-free).
+    trap_set: BTreeSet<Edge>,
 }
 
 impl TrapInstance {
@@ -317,6 +317,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
 
     fn rng(seed: u64) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(seed)

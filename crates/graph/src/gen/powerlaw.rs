@@ -8,7 +8,8 @@
 use crate::edge::Edge;
 use crate::graph::Graph;
 use rand::Rng;
-use std::collections::HashSet;
+// Membership-only rejection-sampling dedup; iteration order never observed.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// Samples a Chung–Lu graph: vertex `i` receives weight
 /// `w_i = (n / (i + i0))^(1 / (gamma - 1))` (a power-law with exponent
@@ -48,7 +49,7 @@ pub fn chung_lu<R: Rng + ?Sized>(n: usize, gamma: f64, avg_degree: f64, rng: &mu
     // simple per-pair loop over candidate neighbours of each hub would be
     // O(n^2); instead sample, for each vertex i, a Binomial-ish number of
     // candidate partners proportional to its weight and accept by weight.
-    let mut seen: HashSet<Edge> = HashSet::new();
+    let mut seen: HashSet<Edge> = HashSet::new(); // xtask: allow(hash-collections)
     let mut edges = Vec::new();
     // Expected number of edges is roughly total * avg_degree / 2; we sample
     // candidate pairs by weighted choice of both endpoints which reproduces

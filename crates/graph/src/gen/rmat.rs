@@ -9,7 +9,8 @@
 use crate::edge::{Edge, VertexId};
 use crate::graph::Graph;
 use rand::Rng;
-use std::collections::HashSet;
+// Membership-only rejection-sampling dedup; iteration order never observed.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// Samples an R-MAT graph with `2^scale` vertices and (up to) `edge_factor *
 /// 2^scale` distinct edges, using the standard quadrant probabilities
@@ -40,7 +41,7 @@ pub fn rmat<R: Rng + ?Sized>(
 
     let n = 1usize << scale;
     let target = edge_factor * n;
-    let mut seen = HashSet::with_capacity(target);
+    let mut seen = HashSet::with_capacity(target); // xtask: allow(hash-collections)
     let mut edges = Vec::with_capacity(target);
     // Cap the attempts so adversarial parameters cannot loop forever.
     let max_attempts = target.saturating_mul(4).max(16);

@@ -12,7 +12,8 @@
 use crate::edge::{Edge, VertexId};
 use crate::error::GraphError;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+// Membership-only dedup probes below; iteration order never observed.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// A simple undirected graph on vertices `0..n` stored as an edge list.
 ///
@@ -85,7 +86,7 @@ impl Graph {
     pub fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Self {
         #[cfg(debug_assertions)]
         {
-            let mut seen = HashSet::with_capacity(edges.len());
+            let mut seen = HashSet::with_capacity(edges.len()); // xtask: allow(hash-collections)
             for e in &edges {
                 debug_assert!(
                     (e.u as usize) < n && (e.v as usize) < n,
@@ -207,7 +208,7 @@ impl Graph {
         // The total edge count is known up front; preallocate both the seen
         // set and the output so the union never reallocates mid-build.
         let total: usize = graphs.iter().map(|g| g.edges.len()).sum();
-        let mut seen: HashSet<Edge> = HashSet::with_capacity(total);
+        let mut seen: HashSet<Edge> = HashSet::with_capacity(total); // xtask: allow(hash-collections)
         let mut edges = Vec::with_capacity(total);
         for g in graphs {
             for &e in &g.edges {

@@ -45,7 +45,8 @@ impl<'a> GraphView<'a> {
     pub fn new(n: usize, edges: &'a [Edge]) -> Self {
         #[cfg(debug_assertions)]
         {
-            let mut seen = std::collections::HashSet::with_capacity(edges.len());
+            // Membership-only dedup probe; iteration order never observed.
+            let mut seen = std::collections::HashSet::with_capacity(edges.len()); // xtask: allow(hash-collections)
             for e in edges {
                 debug_assert!(
                     (e.u as usize) < n && (e.v as usize) < n,

@@ -9,7 +9,7 @@ use crate::edge::{Edge, VertexId, WeightedEdge};
 use crate::error::GraphError;
 use crate::graph::Graph;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A simple undirected graph with non-negative edge weights.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,7 +34,7 @@ impl WeightedGraph {
     where
         I: IntoIterator<Item = (VertexId, VertexId, f64)>,
     {
-        let mut best: HashMap<Edge, f64> = HashMap::new();
+        let mut best: BTreeMap<Edge, f64> = BTreeMap::new();
         for (a, b, w) in triples {
             if a == b {
                 return Err(GraphError::SelfLoop { vertex: a });
@@ -121,7 +121,7 @@ impl WeightedGraph {
             1.0
         };
 
-        let mut classes: HashMap<u32, Vec<Edge>> = HashMap::new();
+        let mut classes: BTreeMap<u32, Vec<Edge>> = BTreeMap::new();
         for e in &self.edges {
             let w = (e.weight * scale).max(1.0);
             let class = w.log(base).floor().max(0.0) as u32;

@@ -110,7 +110,9 @@ pub fn blossom_on_csr(adj: &Csr, ws: &mut BlossomWorkspace, warm: &[Edge]) -> Ve
         }
     }
 
-    let mut edges = Vec::new();
+    // The matching itself is this function's output; building it is the one
+    // permitted allocation.
+    let mut edges = Vec::new(); // xtask: allow(hot-path-alloc)
     for v in 0..n as u32 {
         let w = ws.mate[v as usize];
         if w != NONE && v < w {

@@ -2,7 +2,11 @@
 //! helpers used by every algorithm and by the coreset composition step.
 
 use graph::{Edge, GraphRef, VertexId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
+// Membership-only endpoint-disjointness checks below keep `HashSet` for O(1)
+// probes; their iteration order is never observed, so hash nondeterminism
+// cannot reach an output.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// A matching: a set of edges no two of which share an endpoint.
 ///
@@ -30,7 +34,8 @@ impl Matching {
     /// Builds a matching from edges, returning `None` if two edges share an
     /// endpoint.
     pub fn try_from_edges(edges: Vec<Edge>) -> Option<Self> {
-        let mut seen: HashSet<VertexId> = HashSet::with_capacity(edges.len() * 2);
+        // Membership-only probe set; order never observed.
+        let mut seen: HashSet<VertexId> = HashSet::with_capacity(edges.len() * 2); // xtask: allow(hash-collections)
         for e in &edges {
             if !seen.insert(e.u) || !seen.insert(e.v) {
                 return None;
@@ -63,9 +68,10 @@ impl Matching {
         self.edges
     }
 
-    /// The set of matched vertices.
-    pub fn matched_vertices(&self) -> HashSet<VertexId> {
-        let mut s = HashSet::with_capacity(self.edges.len() * 2);
+    /// The set of matched vertices, iterable in ascending order (`BTreeSet`
+    /// so downstream consumers that surface the set stay deterministic).
+    pub fn matched_vertices(&self) -> BTreeSet<VertexId> {
+        let mut s = BTreeSet::new();
         for e in &self.edges {
             s.insert(e.u);
             s.insert(e.v);
@@ -113,8 +119,9 @@ impl Matching {
     /// Checks that every matched edge is present in `g` and that the edges are
     /// pairwise disjoint (the latter is an invariant, re-checked defensively).
     pub fn is_valid_for<G: GraphRef + ?Sized>(&self, g: &G) -> bool {
-        let edge_set: HashSet<Edge> = g.edges().iter().copied().collect();
-        let mut seen: HashSet<VertexId> = HashSet::new();
+        // Membership-only probe sets; order never observed.
+        let edge_set: HashSet<Edge> = g.edges().iter().copied().collect(); // xtask: allow(hash-collections)
+        let mut seen: HashSet<VertexId> = HashSet::new(); // xtask: allow(hash-collections)
         for e in &self.edges {
             if !edge_set.contains(e) {
                 return false;

@@ -11,7 +11,8 @@
 use crate::matching::Matching;
 use crate::maximum::maximum_matching;
 use graph::{Edge, Graph, VertexId, WeightedGraph};
-use std::collections::HashSet;
+// Membership-only disjointness probe; iteration order never observed.
+use std::collections::HashSet; // xtask: allow(hash-collections)
 
 /// A matching in a weighted graph together with its total weight.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -37,7 +38,7 @@ impl WeightedMatching {
     /// pairwise disjoint, and the recorded weight equals the sum of the edge
     /// weights (up to floating-point tolerance).
     pub fn is_valid_for(&self, g: &WeightedGraph) -> bool {
-        let mut seen: HashSet<VertexId> = HashSet::new();
+        let mut seen: HashSet<VertexId> = HashSet::new(); // xtask: allow(hash-collections)
         let mut weight = 0.0;
         for e in &self.edges {
             match g.weight_of(e.u, e.v) {

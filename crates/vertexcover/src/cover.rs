@@ -1,19 +1,23 @@
 //! The [`VertexCover`] type: a set of vertices with coverage validation.
 
 use graph::{GraphRef, VertexId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A set of vertices intended to cover every edge of some graph.
+///
+/// Stored as a `BTreeSet` so iteration is in ascending vertex order — cover
+/// contents can reach protocol outputs, and the determinism contract
+/// (`tests/determinism.rs`) requires every such path to be order-stable.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VertexCover {
-    vertices: HashSet<VertexId>,
+    vertices: BTreeSet<VertexId>,
 }
 
 impl VertexCover {
     /// The empty vertex set.
     pub fn new() -> Self {
         VertexCover {
-            vertices: HashSet::new(),
+            vertices: BTreeSet::new(),
         }
     }
 
@@ -49,16 +53,14 @@ impl VertexCover {
         self.vertices.extend(other.vertices.iter().copied());
     }
 
-    /// The vertices of the cover in unspecified order.
+    /// The vertices of the cover in ascending order.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.vertices.iter().copied()
     }
 
     /// The vertices of the cover, sorted (for deterministic reporting).
     pub fn sorted_vertices(&self) -> Vec<VertexId> {
-        let mut v: Vec<VertexId> = self.vertices.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.vertices.iter().copied().collect()
     }
 
     /// Checks that every edge of `g` has at least one endpoint in the cover.

@@ -1,0 +1,223 @@
+//! Parser for `crates/xtask/hotpaths.toml` — the checked-in list of
+//! allocation-free hot-path functions.
+//!
+//! The workspace is fully offline (no crates.io), so this is a hand-rolled
+//! reader for the tiny TOML subset the config needs:
+//!
+//! ```toml
+//! [[hotpath]]
+//! file = "crates/matching/src/engine.rs"
+//! functions = ["solve_inner"]
+//! reason = "why this is a hot path"
+//! ```
+//!
+//! Unknown keys, unterminated strings, and structural mistakes are reported
+//! as errors rather than ignored — a silently dropped entry would quietly
+//! stop linting a hot path.
+
+use std::collections::BTreeMap;
+
+/// One `[[hotpath]]` entry: the functions of `file` whose bodies the
+/// allocation lint patrols.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPath {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// Function names (as written after `fn`) to patrol in that file.
+    pub functions: Vec<String>,
+    /// Human-readable justification; required so the config stays honest.
+    pub reason: String,
+}
+
+/// The parsed hot-path configuration, keyed by file path.
+#[derive(Debug, Clone, Default)]
+pub struct HotPathConfig {
+    /// `file -> function names` to patrol.
+    pub by_file: BTreeMap<String, Vec<String>>,
+}
+
+impl HotPathConfig {
+    /// Builds the lookup table from parsed entries.
+    pub fn from_entries(entries: Vec<HotPath>) -> Self {
+        let mut by_file: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for e in entries {
+            by_file.entry(e.file).or_default().extend(e.functions);
+        }
+        Self { by_file }
+    }
+
+    /// The functions to patrol in `file`, if any.
+    pub fn functions_for(&self, file: &str) -> Option<&[String]> {
+        self.by_file.get(file).map(Vec::as_slice)
+    }
+}
+
+/// Parses the `hotpaths.toml` text into entries. Returns a descriptive error
+/// (with a 1-based line number) on anything outside the supported subset.
+pub fn parse_hotpaths(text: &str) -> Result<Vec<HotPath>, String> {
+    let mut entries: Vec<HotPath> = Vec::new();
+    let mut current: Option<HotPath> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_toml_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[hotpath]]" {
+            if let Some(done) = current.take() {
+                entries.push(validated(done, lineno)?);
+            }
+            current = Some(HotPath::default());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "hotpaths.toml:{lineno}: unsupported table `{line}` (only [[hotpath]] entries are allowed)"
+            ));
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| {
+            format!("hotpaths.toml:{lineno}: expected `key = value`, got `{line}`")
+        })?;
+        let entry = current.as_mut().ok_or_else(|| {
+            format!(
+                "hotpaths.toml:{lineno}: `{}` outside a [[hotpath]] entry",
+                key.trim()
+            )
+        })?;
+        match key.trim() {
+            "file" => entry.file = parse_toml_string(value.trim(), lineno)?,
+            "functions" => entry.functions = parse_toml_string_array(value.trim(), lineno)?,
+            "reason" => entry.reason = parse_toml_string(value.trim(), lineno)?,
+            other => {
+                return Err(format!(
+                    "hotpaths.toml:{lineno}: unknown key `{other}` (expected file / functions / reason)"
+                ))
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        let last_line = text.lines().count();
+        entries.push(validated(done, last_line)?);
+    }
+    Ok(entries)
+}
+
+/// Checks that a finished entry carries every required field.
+fn validated(entry: HotPath, lineno: usize) -> Result<HotPath, String> {
+    if entry.file.is_empty() {
+        return Err(format!(
+            "hotpaths.toml:{lineno}: [[hotpath]] entry missing `file`"
+        ));
+    }
+    if entry.functions.is_empty() {
+        return Err(format!(
+            "hotpaths.toml:{lineno}: [[hotpath]] for `{}` lists no functions",
+            entry.file
+        ));
+    }
+    if entry.reason.is_empty() {
+        return Err(format!(
+            "hotpaths.toml:{lineno}: [[hotpath]] for `{}` missing `reason` (say why it is a hot path)",
+            entry.file
+        ));
+    }
+    Ok(entry)
+}
+
+/// Drops a trailing `# comment`, respecting `#` inside quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a `"quoted"` TOML string value.
+fn parse_toml_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| {
+            format!("hotpaths.toml:{lineno}: expected a quoted string, got `{value}`")
+        })?;
+    if inner.contains('"') {
+        return Err(format!(
+            "hotpaths.toml:{lineno}: embedded quotes are not supported"
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parses a single-line `["a", "b"]` TOML array of strings.
+fn parse_toml_string_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("hotpaths.toml:{lineno}: expected a [\"...\"] array, got `{value}`")
+        })?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_toml_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_builds_lookup() {
+        let text = r#"
+# hot paths
+[[hotpath]]
+file = "crates/matching/src/engine.rs" # the solver
+functions = ["solve_inner", "other"]
+reason = "inner loop"
+
+[[hotpath]]
+file = "crates/vertexcover/src/engine.rs"
+functions = ["peel_with_thresholds"]
+reason = "bucket rounds"
+"#;
+        let entries = parse_hotpaths(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        let cfg = HotPathConfig::from_entries(entries);
+        assert_eq!(
+            cfg.functions_for("crates/matching/src/engine.rs").unwrap(),
+            &["solve_inner".to_string(), "other".to_string()][..]
+        );
+        assert!(cfg.functions_for("crates/graph/src/csr.rs").is_none());
+    }
+
+    #[test]
+    fn missing_fields_and_unknown_keys_error() {
+        assert!(parse_hotpaths("[[hotpath]]\nfile = \"a.rs\"\n")
+            .unwrap_err()
+            .contains("no functions"));
+        assert!(
+            parse_hotpaths("[[hotpath]]\nfile = \"a.rs\"\nfunctions = [\"f\"]\n")
+                .unwrap_err()
+                .contains("missing `reason`")
+        );
+        assert!(parse_hotpaths("[[hotpath]]\nbogus = \"x\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse_hotpaths("file = \"a.rs\"\n")
+            .unwrap_err()
+            .contains("outside a [[hotpath]]"));
+        assert!(parse_hotpaths("[other]\n")
+            .unwrap_err()
+            .contains("unsupported table"));
+    }
+}

@@ -1,0 +1,453 @@
+//! A minimal hand-rolled Rust lexer for the invariant linter.
+//!
+//! The linter does not need a real parser: every rule it enforces is
+//! expressible over a comment-and-string-stripped token stream plus a little
+//! brace bookkeeping. This module produces exactly that — identifiers,
+//! punctuation, numbers, and string literals (with their contents preserved,
+//! so the `RC_THREADS` rule can see what `env::var` is asked for), each
+//! carrying its 1-based source line.
+//!
+//! Comments are stripped but not discarded blindly:
+//!
+//! * `// xtask: allow(rule-a, rule-b)` pragmas are collected per line. A
+//!   pragma suppresses matching diagnostics on its own line (trailing
+//!   comment) and on the immediately following line (standalone comment
+//!   above the offending code).
+//! * Doc-comment lines (`///`, `//!`, and `/** ... */`) are recorded so the
+//!   doc-coverage rule can tell whether a `pub fn` is documented.
+//!
+//! The lexer is intentionally forgiving: on input it cannot make sense of it
+//! skips a byte rather than erroring, because the linter must never be the
+//! reason the build breaks on valid-but-exotic Rust. The fixture tests pin
+//! the cases the rules depend on (nested block comments, raw strings,
+//! lifetimes vs. char literals).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `vec`, ...).
+    Ident,
+    /// A string literal; `text` holds the *contents* (no quotes, escapes raw).
+    Str,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character (`{`, `!`, `:`, ...).
+    Punct,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// A character literal; contents are irrelevant to every rule.
+    CharLit,
+}
+
+/// One token of a lexed source file.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (contents only, for string literals).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A fully lexed source file: the token stream plus the comment-derived
+/// side tables the rules consume.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Comment- and whitespace-free token stream.
+    pub tokens: Vec<Token>,
+    /// `line -> rules` suppressed by an `// xtask: allow(...)` pragma on that
+    /// line. A pragma also covers the following line; [`LexedFile::allows`]
+    /// implements that lookup.
+    pub pragmas: BTreeMap<usize, BTreeSet<String>>,
+    /// Lines that carry a doc comment (`///`, `//!`, or a `/** */` block).
+    pub doc_lines: BTreeSet<usize>,
+}
+
+impl LexedFile {
+    /// True if `rule` is suppressed at `line` — by a pragma on the line
+    /// itself or on the line directly above it.
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        let hit = |l: usize| {
+            self.pragmas
+                .get(&l)
+                .is_some_and(|rules| rules.contains(rule))
+        };
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+}
+
+/// Parses the rule list out of an `xtask: allow(rule-a, rule-b)` comment
+/// body, returning `None` if the comment is not a pragma.
+fn parse_pragma(comment: &str) -> Option<BTreeSet<String>> {
+    let rest = comment.trim_start().strip_prefix("xtask:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let inner = rest.split(')').next()?;
+    let rules: BTreeSet<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Lexes `src` into tokens and comment side tables. Never fails: bytes the
+/// lexer does not understand are skipped.
+pub fn lex(src: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let push = |out: &mut LexedFile, kind: TokKind, text: String, line: usize| {
+        out.tokens.push(Token { kind, text, line });
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: classify doc vs. pragma vs. plain.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text.starts_with("///") || text.starts_with("//!") {
+                    out.doc_lines.insert(line);
+                } else if let Some(rules) = parse_pragma(&text[2..]) {
+                    out.pragmas.entry(line).or_default().extend(rules);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested; `/**` is a doc comment.
+                let is_doc = bytes.get(i + 2) == Some(&b'*') && bytes.get(i + 3) != Some(&b'/');
+                if is_doc {
+                    out.doc_lines.insert(line);
+                }
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        if is_doc {
+                            out.doc_lines.insert(line);
+                        }
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (contents, consumed, newlines) = scan_string(&src[i..]);
+                push(&mut out, TokKind::Str, contents, line);
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&src[i..]) => {
+                let (contents, consumed, newlines) = scan_prefixed_string(&src[i..]);
+                push(&mut out, TokKind::Str, contents, line);
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs. char literal (`'a'`, `'\n'`).
+                let rest = &src[i + 1..];
+                let ident_len = rest
+                    .chars()
+                    .take_while(|&ch| ch == '_' || ch.is_alphanumeric())
+                    .map(char::len_utf8)
+                    .sum::<usize>();
+                if ident_len > 0 && !rest[ident_len..].starts_with('\'') {
+                    push(
+                        &mut out,
+                        TokKind::Lifetime,
+                        format!("'{}", &rest[..ident_len]),
+                        line,
+                    );
+                    i += 1 + ident_len;
+                } else {
+                    let (consumed, newlines) = scan_char_literal(&src[i..]);
+                    push(&mut out, TokKind::CharLit, String::new(), line);
+                    line += newlines;
+                    i += consumed;
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = src[i..].chars().next().unwrap();
+                    if ch == '_' || ch.is_alphanumeric() {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, TokKind::Ident, src[start..i].to_string(), line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                        // Stop at `..` (range) and method calls on literals.
+                        if ch == '.' && bytes.get(i + 1) == Some(&b'.') {
+                            break;
+                        }
+                        if ch == '.'
+                            && !(bytes.get(i + 1).copied().unwrap_or(b' ') as char).is_ascii_digit()
+                        {
+                            break;
+                        }
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, TokKind::Num, src[start..i].to_string(), line);
+            }
+            c => {
+                push(&mut out, TokKind::Punct, c.to_string(), line);
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+/// True if the input starts a raw string (`r"`, `r#"`), byte string (`b"`),
+/// or raw byte string (`br"`, `br#"`), as opposed to an identifier.
+fn starts_raw_or_byte_string(s: &str) -> bool {
+    let rest = s
+        .strip_prefix("br")
+        .or_else(|| s.strip_prefix("rb"))
+        .or_else(|| s.strip_prefix('r'))
+        .or_else(|| s.strip_prefix('b'));
+    match rest {
+        Some(rest) => {
+            let rest = rest.trim_start_matches('#');
+            rest.starts_with('"') || (s.starts_with('b') && rest.starts_with('\''))
+        }
+        None => false,
+    }
+}
+
+/// Scans a plain `"..."` literal starting at the opening quote. Returns
+/// (contents, bytes consumed, newlines crossed).
+fn scan_string(s: &str) -> (String, usize, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 1usize;
+    let mut newlines = 0usize;
+    let mut contents = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                i += 2; // escape: skip the escaped byte wholesale
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                newlines += 1;
+                contents.push('\n');
+                i += 1;
+            }
+            _ => {
+                let ch = s[i..].chars().next().unwrap();
+                contents.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    (contents, i, newlines)
+}
+
+/// Scans a string with an `r`/`b`/`br` prefix (raw and/or byte). Returns
+/// (contents, bytes consumed, newlines crossed).
+fn scan_prefixed_string(s: &str) -> (String, usize, usize) {
+    let mut i = 0usize;
+    let bytes = s.as_bytes();
+    let mut raw = false;
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        raw |= bytes[i] == b'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // A byte char literal such as b'x'.
+        let (consumed, newlines) = scan_char_literal(&s[i..]);
+        return (String::new(), i + consumed, newlines);
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // Not actually a string (e.g. identifier starting with `r#`); consume
+        // one byte and let the main loop re-lex the rest.
+        return (String::new(), 1, 0);
+    }
+    i += 1;
+    let start = i;
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    if raw {
+        match s[i..].find(&closer) {
+            Some(off) => {
+                let contents = &s[start..i + off];
+                let newlines = contents.matches('\n').count();
+                (contents.to_string(), i + off + closer.len(), newlines)
+            }
+            None => (
+                s[start..].to_string(),
+                s.len(),
+                s[start..].matches('\n').count(),
+            ),
+        }
+    } else {
+        let (contents, consumed, newlines) = scan_string(&s[i - 1..]);
+        (contents, i - 1 + consumed, newlines)
+    }
+}
+
+/// Scans a char literal starting at `'`. Returns (bytes consumed, newlines).
+fn scan_char_literal(s: &str) -> (usize, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 1usize;
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+        // Escapes like \u{1F600} run until the closing brace.
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+    } else if i < bytes.len() {
+        i += s[i..].chars().next().map_or(1, char::len_utf8);
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        i += 1;
+    }
+    (i, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_keeping_lines() {
+        let lexed = lex("let a = 1; // plain comment\nlet b = \"HashMap\";\nHashMap::new();\n");
+        let idents: Vec<(&str, usize)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert!(idents.contains(&("HashMap", 3)));
+        assert!(
+            !idents.contains(&("HashMap", 2)),
+            "string contents must not lex as idents"
+        );
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["HashMap"]);
+    }
+
+    #[test]
+    fn pragmas_cover_their_line_and_the_next() {
+        let lexed = lex("// xtask: allow(hash-collections)\nuse std::collections::HashMap;\nlet x = 1; // xtask: allow(rule-b, rule-c)\n");
+        assert!(lexed.allows("hash-collections", 1));
+        assert!(lexed.allows("hash-collections", 2));
+        assert!(!lexed.allows("hash-collections", 3));
+        assert!(lexed.allows("rule-b", 3));
+        assert!(lexed.allows("rule-c", 3));
+        assert!(!lexed.allows("rule-d", 3));
+    }
+
+    #[test]
+    fn doc_comment_lines_are_recorded() {
+        let lexed = lex("/// docs\npub fn f() {}\n//! inner\n/** block\ndoc */\nfn g() {}\n");
+        assert!(lexed.doc_lines.contains(&1));
+        assert!(lexed.doc_lines.contains(&3));
+        assert!(lexed.doc_lines.contains(&4));
+        assert!(lexed.doc_lines.contains(&5));
+        assert!(!lexed.doc_lines.contains(&2));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let lexed = lex("/* a /* b */ c */ fn f() { let s = r#\"Instant::now \"quoted\"\"#; }\n");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(
+            !lexed.tokens.iter().any(|t| t.is_ident("Instant")),
+            "raw string contents must stay out of the ident stream"
+        );
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("Instant::now")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::CharLit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn multiline_strings_advance_the_line_counter() {
+        let lexed = lex("let s = \"one\ntwo\";\nHashMap\n");
+        let hm = lexed.tokens.iter().find(|t| t.is_ident("HashMap")).unwrap();
+        assert_eq!(hm.line, 3);
+    }
+}

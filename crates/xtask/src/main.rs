@@ -1,0 +1,68 @@
+//! CLI entry point: `cargo run -p xtask -- lint` / `cargo xtask lint`.
+//!
+//! Exit status is 0 when every invariant holds, 1 when any diagnostic fires
+//! (printed as `file:line: [rule] message`, sorted), and 2 on usage or I/O
+//! errors — so CI can distinguish "lint found problems" from "lint broke".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <workspace-root>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            "--root" => match it.next() {
+                Some(r) => root_arg = Some(PathBuf::from(r)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if cmd != Some("lint") {
+        return usage();
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| xtask::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "xtask: could not locate the workspace root (no Cargo.toml with [workspace])"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("xtask lint: all invariants hold");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("xtask lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

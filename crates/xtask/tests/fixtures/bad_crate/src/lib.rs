@@ -1,0 +1,4 @@
+// Known-bad fixture entry file: missing both lint headers
+// (`#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`).
+
+pub fn no_headers_here() {}

@@ -1,0 +1,9 @@
+//! Known-bad fixture: thread-count environment reads outside vendor/rayon.
+//! Linted under a (pretend) `crates/bench/src/fixture.rs`; expects
+//! `env-threads` at lines 6 and 7, while the unrelated read at 8 stays clean.
+
+fn threads() -> Option<String> {
+    let _a = std::env::var("RC_THREADS").ok();
+    let _b = std::env::var_os("RAYON_NUM_THREADS");
+    std::env::var("HOME").ok()
+}

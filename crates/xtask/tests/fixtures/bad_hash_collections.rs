@@ -1,0 +1,15 @@
+//! Known-bad fixture: hash collections in (pretend) protocol-crate source.
+//! The self-test lints this under `crates/graph/src/fixture.rs` and expects
+//! `hash-collections` at lines 5, 6 and 9 (twice) — and nothing from tests.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() {
+    let _m: HashMap<u32, u32> = HashMap::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+}

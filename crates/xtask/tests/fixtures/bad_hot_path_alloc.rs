@@ -1,0 +1,15 @@
+//! Known-bad fixture: allocations inside a watched hot-path function. The
+//! self-test lints this under `crates/matching/src/engine.rs` with a config
+//! watching `solve_inner`; expects `hot-path-alloc` at lines 6-10 only.
+
+fn solve_inner(xs: &[u32]) {
+    let _a = vec![0u32; 4];
+    let _b: Vec<u32> = Vec::new();
+    let _c = xs.to_vec();
+    let _d = _c.clone();
+    let _e = xs.iter().collect::<Vec<_>>();
+}
+
+fn cold_path(xs: &[u32]) {
+    let _fine = xs.to_vec();
+}

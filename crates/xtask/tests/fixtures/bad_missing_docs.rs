@@ -1,0 +1,10 @@
+//! Known-bad fixture: an undocumented `pub fn` in a doc-coverage crate. The
+//! self-test lints this under `crates/graph/src/fixture.rs`; expects
+//! `missing-docs` at line 8 for `undocumented` and nothing for the rest.
+
+/// Documented, fine.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+pub(crate) fn internal_api_is_exempt() {}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: ambient entropy and wall-clock reads. Linted under a
+//! (pretend) `crates/coresets/src/fixture.rs`; expects `nondeterminism` at
+//! lines 6, 7, 8 and 9, while the bare `Instant` type at line 5 stays clean.
+
+fn sample(_t0: std::time::Instant) {
+    let _r = rand::thread_rng();
+    let _e = ChaCha8Rng::from_entropy();
+    let _t = std::time::Instant::now();
+    let _w = std::time::SystemTime::now();
+}

@@ -1,0 +1,9 @@
+//! Clean fixture: deterministic collections, no ambient entropy, documented
+//! API. Linting this file under any scope must produce zero diagnostics.
+
+use std::collections::BTreeMap;
+
+/// Documented public entry point.
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

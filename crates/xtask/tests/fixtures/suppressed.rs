@@ -1,0 +1,11 @@
+//! Pragma fixture: every violation below carries an `xtask: allow` pragma
+//! (both the line-above and trailing placements), so linting this file under
+//! any protocol path must produce zero diagnostics.
+
+// xtask: allow(hash-collections)
+use std::collections::HashMap;
+use std::collections::HashSet; // xtask: allow(hash-collections)
+
+fn sample() {
+    let _t = std::time::Instant::now(); // xtask: allow(nondeterminism)
+}

@@ -21,6 +21,9 @@
 //! See `examples/quickstart.rs` for a five-minute tour and `EXPERIMENTS.md`
 //! for the full experiment suite.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use coresets;
 pub use distsim;
 pub use graph;

@@ -1,0 +1,178 @@
+//! Scheduler-fuzz race detection: every protocol's complete output must be
+//! bit-identical under adversarial worker schedules.
+//!
+//! `tests/determinism.rs` shows outputs don't depend on the worker *count*;
+//! this suite shows they don't depend on worker *timing* either. The vendored
+//! rayon's `RC_SCHED_FUZZ` mode (see `vendor/rayon/src/lib.rs`,
+//! `sched_fuzz`) cuts each parallel fan-out into ~4 chunks per worker,
+//! permutes the dispatch queue with a seed-derived schedule, lets the workers
+//! race for chunks, and yields the OS scheduler at every chunk boundary. A
+//! protocol whose answer leaks execution order — a machine result written
+//! into shared state as it completes, an RNG stream drawn inside the
+//! fan-out — diverges under some schedule; a correct one never moves.
+//!
+//! Coverage: three protocol families (coordinator, MapReduce, pipeline
+//! runners) × [`FUZZ_SEEDS`] seeds = 36 fuzzed schedules at 4 worker
+//! threads, each fingerprinted against the fuzz-off single-thread baseline.
+//! Every individual protocol run issues at least one multi-chunk parallel
+//! fan-out per seed, so each (protocol, seed) pair genuinely exercises a
+//! distinct dispatch permutation (the per-process call counter advances the
+//! schedule on every parallel call).
+
+use coresets::matching_coreset::{MaximumMatchingCoreset, SubsampledMatchingCoreset};
+use coresets::vc_coreset::PeelingVcCoreset;
+use coresets::{DistributedMatching, DistributedVertexCover};
+use distsim::coordinator::CoordinatorProtocol;
+use distsim::mapreduce::{MapReduceConfig, MapReduceSimulator};
+use graph::gen::er::gnp;
+use graph::Graph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::sched_fuzz::with_fuzz;
+use rayon::ThreadPoolBuilder;
+
+/// Twelve fuzz seeds per protocol family; 3 × 12 = 36 adversarial schedules,
+/// comfortably above the 32-schedule floor this suite promises.
+const FUZZ_SEEDS: [u64; 12] = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233];
+
+/// Worker count for the fuzzed runs; with ~4 chunks per worker each fan-out
+/// has 16 schedulable chunks.
+const FUZZ_THREADS: usize = 4;
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("vendored pool builder is infallible")
+        .install(f)
+}
+
+/// Runs `f` once sequentially with fuzzing forced off, then once per fuzz
+/// seed at [`FUZZ_THREADS`] workers, asserting every fuzzed output equals the
+/// baseline.
+fn assert_fuzz_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
+    let baseline = with_fuzz(None, || with_threads(1, &f));
+    for &seed in &FUZZ_SEEDS {
+        let fuzzed = with_fuzz(Some(seed), || with_threads(FUZZ_THREADS, &f));
+        assert_eq!(
+            fuzzed, baseline,
+            "{label}: output diverged under fuzzed schedule seed {seed}"
+        );
+    }
+}
+
+fn workload(n: usize, p: f64, seed: u64) -> Graph {
+    gnp(n, p, &mut ChaCha8Rng::seed_from_u64(seed))
+}
+
+/// Coordinator protocol, matching side. `SubsampledMatchingCoreset` consumes
+/// its per-machine RNG stream, so this also proves the streams stay decoupled
+/// from chunk dispatch order.
+#[test]
+fn coordinator_protocols_survive_fuzzed_schedules() {
+    let g = workload(800, 0.015, 101);
+    assert_fuzz_invariant("coordinator/matching", || {
+        let run = CoordinatorProtocol::random(8)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 61)
+            .unwrap();
+        (
+            run.answer.edges().to_vec(),
+            run.communication,
+            run.piece_sizes,
+        )
+    });
+    assert_fuzz_invariant("coordinator/matching-subsampled", || {
+        let run = CoordinatorProtocol::random(8)
+            .run_matching(&g, &SubsampledMatchingCoreset::new(3.0), 62)
+            .unwrap();
+        (run.answer.edges().to_vec(), run.communication)
+    });
+    assert_fuzz_invariant("coordinator/vertex-cover", || {
+        let run = CoordinatorProtocol::random(8)
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), 63)
+            .unwrap();
+        (
+            run.answer.sorted_vertices(),
+            run.communication,
+            run.piece_sizes,
+        )
+    });
+}
+
+/// MapReduce simulator, both problems: round structure and memory accounting
+/// must be schedule-independent too, not just the answers.
+#[test]
+fn mapreduce_protocols_survive_fuzzed_schedules() {
+    let g = workload(600, 0.02, 102);
+    let cfg = MapReduceConfig::paper_defaults(600);
+    assert_fuzz_invariant("mapreduce/matching", || {
+        let out = MapReduceSimulator::new(cfg)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 64)
+            .unwrap();
+        (
+            out.answer.edges().to_vec(),
+            out.rounds,
+            out.within_memory_budget,
+        )
+    });
+    assert_fuzz_invariant("mapreduce/vertex-cover", || {
+        let out = MapReduceSimulator::new(cfg)
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), 65)
+            .unwrap();
+        (
+            out.answer.sorted_vertices(),
+            out.rounds,
+            out.within_memory_budget,
+        )
+    });
+}
+
+/// The high-level pipeline runners (partition → per-machine coreset →
+/// composition), matching and vertex cover together.
+#[test]
+fn pipeline_runners_survive_fuzzed_schedules() {
+    let g = workload(700, 0.015, 103);
+    assert_fuzz_invariant("pipeline/matching+vertex-cover", || {
+        let m = DistributedMatching::new(6).run(&g, 66).unwrap();
+        let c = DistributedVertexCover::new(6).run(&g, 66).unwrap();
+        (
+            m.matching.edges().to_vec(),
+            m.coreset_sizes,
+            m.piece_sizes,
+            c.cover.sorted_vertices(),
+            c.coreset_sizes,
+        )
+    });
+}
+
+/// Sanity check on the detector itself: fuzzing genuinely perturbs execution
+/// order (otherwise the suite above would be vacuous). Records the order
+/// items are *processed* in and requires at least one seed to reorder it.
+#[test]
+fn fuzzing_perturbs_execution_order() {
+    use rayon::prelude::*;
+    use std::sync::Mutex;
+    let mut saw_reordering = false;
+    for &seed in &FUZZ_SEEDS {
+        let trace: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let _: Vec<usize> = with_fuzz(Some(seed), || {
+            with_threads(FUZZ_THREADS, || {
+                (0..512usize)
+                    .into_par_iter()
+                    .map(|x| {
+                        trace.lock().unwrap().push(x);
+                        x
+                    })
+                    .collect()
+            })
+        });
+        if trace.into_inner().unwrap().windows(2).any(|w| w[0] > w[1]) {
+            saw_reordering = true;
+            break;
+        }
+    }
+    assert!(
+        saw_reordering,
+        "no fuzz seed perturbed execution order; the race detector is inert"
+    );
+}

@@ -23,6 +23,20 @@
 //! executed with the default thread count (a fresh scope is spawned); the
 //! simulators never nest, so this is a documented simplification rather than a
 //! limitation in practice.
+//!
+//! ## Scheduler fuzzing (`RC_SCHED_FUZZ`)
+//!
+//! Setting `RC_SCHED_FUZZ=<seed>` (or wrapping a call in
+//! [`sched_fuzz::with_fuzz`]) switches `map` execution to an adversarial
+//! work-stealing schedule: the input is cut into ~4× more chunks than
+//! workers, the dispatch order is shuffled by a seed-derived permutation, and
+//! workers race to pull chunks from a shared queue with an OS yield injected
+//! at every chunk boundary. Because chunk outputs are still reassembled by
+//! chunk index, a correct caller observes bit-identical results under every
+//! seed; a caller that secretly depends on dispatch order (e.g. mutates
+//! shared state from inside a `map`) will diverge. `tests/sched_fuzz.rs` in
+//! the workspace root reruns the distributed protocols under dozens of fuzzed
+//! schedules and asserts their fingerprints never move.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -168,6 +182,156 @@ impl ThreadPool {
 }
 
 // ---------------------------------------------------------------------------
+// Scheduler fuzzing (RC_SCHED_FUZZ).
+// ---------------------------------------------------------------------------
+
+/// Deterministic adversarial scheduling for shaking out order-dependence.
+///
+/// With a fuzz seed active (from the `RC_SCHED_FUZZ` environment variable or
+/// a surrounding [`with_fuzz`](sched_fuzz::with_fuzz) scope), every parallel
+/// `map` randomizes which
+/// worker picks up which chunk and in what order, and yields the OS scheduler
+/// at each chunk boundary. Results are still assembled in input order, so the
+/// fuzzing is observable only to code that (incorrectly) depends on execution
+/// order.
+pub mod sched_fuzz {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    /// Process-wide fuzz seed from `RC_SCHED_FUZZ`, resolved once. `None`
+    /// when the variable is unset or unparseable.
+    static ENV_SEED: OnceLock<Option<u64>> = OnceLock::new();
+
+    /// Monotone per-process counter mixed into each parallel call's schedule,
+    /// so consecutive calls under one seed exercise *different* dispatch
+    /// orders while the whole run stays reproducible from the seed alone.
+    static CALL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// Thread-local fuzz override installed by [`with_fuzz`].
+    #[derive(Clone, Copy)]
+    enum Override {
+        /// No override: defer to the environment.
+        Inherit,
+        /// Fuzzing forced off, even if `RC_SCHED_FUZZ` is set.
+        Off,
+        /// Fuzzing forced on with this seed.
+        Seed(u64),
+    }
+
+    thread_local! {
+        static OVERRIDE: Cell<Override> = const { Cell::new(Override::Inherit) };
+    }
+
+    fn env_seed() -> Option<u64> {
+        *ENV_SEED.get_or_init(|| {
+            std::env::var("RC_SCHED_FUZZ")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        })
+    }
+
+    /// The fuzz seed in effect on the current thread, if any: the innermost
+    /// [`with_fuzz`] scope wins, otherwise `RC_SCHED_FUZZ` from the
+    /// environment.
+    pub fn active_seed() -> Option<u64> {
+        match OVERRIDE.with(Cell::get) {
+            Override::Inherit => env_seed(),
+            Override::Off => None,
+            Override::Seed(s) => Some(s),
+        }
+    }
+
+    /// Restores the previous override even if the closure panics.
+    struct Guard {
+        previous: Override,
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.previous));
+        }
+    }
+
+    /// Runs `f` with scheduler fuzzing forced on (`Some(seed)`) or forced off
+    /// (`None`) on this thread, regardless of `RC_SCHED_FUZZ`. Scopes nest;
+    /// the previous state is restored on exit, panics included.
+    pub fn with_fuzz<R>(seed: Option<u64>, f: impl FnOnce() -> R) -> R {
+        let next = match seed {
+            Some(s) => Override::Seed(s),
+            None => Override::Off,
+        };
+        let _guard = Guard {
+            previous: OVERRIDE.with(|c| c.replace(next)),
+        };
+        f()
+    }
+
+    /// One SplitMix64 step — a full-period, well-mixed 64-bit generator,
+    /// plenty for deriving adversarial (not cryptographic) schedules.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The dispatch order for the next fuzzed parallel call: a Fisher–Yates
+    /// permutation of `0..n_chunks` derived from `seed` and the per-process
+    /// call counter.
+    pub(crate) fn dispatch_order(seed: u64, n_chunks: usize) -> Vec<usize> {
+        let call = CALL_COUNTER.fetch_add(1, Ordering::Relaxed);
+        permutation(seed, call, n_chunks)
+    }
+
+    /// Deterministic permutation of `0..n` from `(seed, call)`; split from
+    /// [`dispatch_order`] so tests can pin exact schedules.
+    pub(crate) fn permutation(seed: u64, call: u64, n: usize) -> Vec<usize> {
+        let mut state = seed ^ call.wrapping_mul(0xA076_1D64_78BD_642F);
+        // Warm up so nearby (seed, call) pairs decorrelate immediately.
+        let _ = splitmix64(&mut state);
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn permutation_is_a_permutation() {
+            for seed in 0..8u64 {
+                let p = permutation(seed, 3, 64);
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+            }
+        }
+
+        #[test]
+        fn permutation_depends_on_seed_and_call() {
+            assert_ne!(permutation(1, 0, 64), permutation(2, 0, 64));
+            assert_ne!(permutation(1, 0, 64), permutation(1, 1, 64));
+            assert_eq!(permutation(7, 3, 64), permutation(7, 3, 64));
+        }
+
+        #[test]
+        fn with_fuzz_overrides_and_restores() {
+            with_fuzz(Some(42), || {
+                assert_eq!(active_seed(), Some(42));
+                with_fuzz(None, || assert_eq!(active_seed(), None));
+                assert_eq!(active_seed(), Some(42));
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The parallel execution core.
 // ---------------------------------------------------------------------------
 
@@ -186,6 +350,9 @@ where
     let threads = current_num_threads().min(items.len());
     if threads <= 1 {
         return items.into_iter().map(f).collect();
+    }
+    if let Some(seed) = sched_fuzz::active_seed() {
+        return fuzzed_parallel_map(items, f, threads, seed);
     }
     let chunk_size = items.len().div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
@@ -211,6 +378,82 @@ where
         }
         out
     })
+}
+
+/// The [`parallel_map`] core under an adversarial schedule (see
+/// [`sched_fuzz`]).
+///
+/// Differences from the plain path, all invisible in the output:
+///
+/// * the input is cut into ~4 chunks per worker (so chunk-to-worker
+///   assignment is a real degree of freedom, not fixed 1:1),
+/// * the dispatch queue is permuted by the seed-derived schedule, and
+///   workers *race* to pop from it — which worker runs which chunk depends
+///   on OS timing,
+/// * every worker yields the OS scheduler between chunks, widening the
+///   interleaving window.
+///
+/// Chunk outputs are tagged with their chunk index and reassembled in input
+/// order, so for any caller whose `f` is a pure function the result is
+/// bit-identical to the sequential run under every seed.
+fn fuzzed_parallel_map<T, R, F>(items: Vec<T>, f: &F, threads: usize, seed: u64) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::Mutex;
+
+    let total = items.len();
+    let target_chunks = (threads * 4).clamp(1, total);
+    let chunk_size = total.div_ceil(target_chunks);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(target_chunks);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push((chunks.len(), chunk));
+    }
+    let n_chunks = chunks.len();
+    let order = sched_fuzz::dispatch_order(seed, n_chunks);
+    let mut queue_vec: Vec<Option<(usize, Vec<T>)>> = chunks.into_iter().map(Some).collect();
+    // Workers pop from the back, so the last entry of `shuffled` is dispatched
+    // first; the permutation already makes the order arbitrary.
+    let mut shuffled: Vec<(usize, Vec<T>)> = Vec::with_capacity(n_chunks);
+    for &i in &order {
+        shuffled.push(queue_vec[i].take().expect("each chunk dispatched once"));
+    }
+    let queue = Mutex::new(shuffled);
+    let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("queue lock").pop();
+                    let Some((idx, chunk)) = job else { break };
+                    let part: Vec<R> = chunk.into_iter().map(f).collect();
+                    results.lock().expect("results lock").push((idx, part));
+                    // Chunk-boundary yield: hand the OS scheduler a chance to
+                    // interleave the racing workers differently.
+                    std::thread::yield_now();
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    let mut parts = results.into_inner().expect("results mutex");
+    parts.sort_unstable_by_key(|&(idx, _)| idx);
+    let mut out = Vec::with_capacity(total);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -549,5 +792,65 @@ mod tests {
     fn builder_zero_means_default() {
         let pool = ThreadPoolBuilder::new().build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn fuzzed_schedules_preserve_results_for_every_seed() {
+        let input: Vec<usize> = (0..777).collect();
+        let expected: Vec<usize> = input.iter().map(|x| x * 3 + 1).collect();
+        for seed in 0..16u64 {
+            let got: Vec<usize> = sched_fuzz::with_fuzz(Some(seed), || {
+                with_threads(4, || input.par_iter().map(|&x| x * 3 + 1).collect())
+            });
+            assert_eq!(got, expected, "seed = {seed}");
+        }
+    }
+
+    #[test]
+    fn fuzzed_execution_order_actually_varies() {
+        use std::sync::Mutex;
+        // Record the order items are *processed* in; under fuzzing with many
+        // chunks this should not be the input order (probability of the
+        // identity permutation across 16 seeds is negligible).
+        let mut saw_reordering = false;
+        for seed in 0..16u64 {
+            let trace: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let _: Vec<usize> = sched_fuzz::with_fuzz(Some(seed), || {
+                with_threads(4, || {
+                    (0..256usize)
+                        .into_par_iter()
+                        .map(|x| {
+                            trace.lock().unwrap().push(x);
+                            x
+                        })
+                        .collect()
+                })
+            });
+            let trace = trace.into_inner().unwrap();
+            if trace.windows(2).any(|w| w[0] > w[1]) {
+                saw_reordering = true;
+                break;
+            }
+        }
+        assert!(
+            saw_reordering,
+            "16 fuzzed schedules over 16 chunks never perturbed execution order"
+        );
+    }
+
+    #[test]
+    fn fuzzed_worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            sched_fuzz::with_fuzz(Some(9), || {
+                with_threads(4, || {
+                    (0..64usize).into_par_iter().for_each(|i| {
+                        if i == 33 {
+                            panic!("fuzzed worker panic");
+                        }
+                    });
+                });
+            });
+        });
+        assert!(caught.is_err());
     }
 }
