@@ -13,11 +13,21 @@
 //!   machine order through the thread's `vertexcover::VcEngine`
 //!   ([`vertexcover::two_approx_cover_concat`]), so the coordinator's VC
 //!   composition performs zero edge-buffer allocations.
+//!
+//! The *independent* parts of the coordinator's work run on the work-stealing
+//! pool: the warm-start screen over per-machine coresets
+//! ([`solve_composed_matching`]) and the per-residual-slice extent/degree
+//! statistics feeding the concatenated 2-approximation
+//! ([`compose_vertex_cover`]) both fan out per machine and reduce
+//! deterministically (results in machine order; `max`/`sum` folds). The
+//! greedy maximal-matching scan itself is order-defined and stays
+//! sequential — parallelism never changes any composed answer.
 
 use crate::vc_coreset::VcCoresetOutput;
 use graph::{Edge, Graph};
-use matching::matching::Matching;
+use matching::matching::{edges_form_matching, Matching};
 use matching::maximum::{maximum_matching_warm, maximum_matching_with, MaximumMatchingAlgorithm};
+use rayon::prelude::*;
 use vertexcover::approx::two_approx_cover_concat;
 use vertexcover::VertexCover;
 
@@ -49,19 +59,33 @@ pub fn solve_composed_matching(
 }
 
 /// The largest coreset that forms a valid matching, as the warm start for
-/// the composed solve. Deterministic: the first coreset of maximal size
-/// wins. Builders whose messages are not matchings (none of the paper's,
-/// but the trait does not forbid it) are skipped defensively.
+/// the composed solve. Deterministic: among the coresets that are valid
+/// non-empty matchings, the **first one of maximal size wins** (ties keep
+/// the earlier machine). Builders whose messages are not matchings (none of
+/// the paper's, but the trait does not forbid it) are skipped defensively.
+///
+/// Two passes: a parallel borrow-only screen (`(size, is-matching)` per
+/// piece, machine order preserved by the pool's indexed reassembly), then
+/// one sequential argmax and a **single** edge-list clone of the winner —
+/// the old single-pass loop cloned every improving candidate, including
+/// ones that immediately lost to a later machine.
 fn best_piece_matching(coresets: &[Graph]) -> Option<Matching> {
-    let mut best: Option<Matching> = None;
-    for c in coresets {
-        if c.m() > best.as_ref().map_or(0, Matching::len) {
-            if let Some(m) = Matching::try_from_edges(c.edges().to_vec()) {
-                best = Some(m);
-            }
+    let stats: Vec<(usize, bool)> = coresets
+        .par_iter()
+        .map(|c| (c.m(), edges_form_matching(c.edges())))
+        .collect();
+    let mut best: Option<usize> = None;
+    for (i, &(m, is_matching)) in stats.iter().enumerate() {
+        if is_matching && m > best.map_or(0, |b| stats[b].0) {
+            best = Some(i);
         }
     }
-    best
+    best.map(|i| {
+        // The one clone this function performs: the winner's edges become the
+        // warm-start matching handed to the solver.
+        Matching::try_from_edges(coresets[i].edges().to_vec()) // xtask: allow(hot-path-alloc)
+            .expect("winner passed the matching screen")
+    })
 }
 
 /// Composes vertex-cover coresets: the union of all fixed vertices plus a
@@ -71,20 +95,54 @@ fn best_piece_matching(coresets: &[Graph]) -> Option<Matching> {
 /// machine order — duplicate edges across residuals are no-ops for the
 /// greedy maximal matching, so the cover equals the one computed on the
 /// materialized [`Graph::union`] (pinned by the composition tests) while
-/// allocating no union buffer at all.
+/// allocating no union buffer at all. A parallel per-slice statistics pass
+/// (`residual_slice_stats`) sizes the scan's workspace to the vertices the
+/// residuals actually touch and skips it entirely when the residual union is
+/// edgeless; the greedy scan itself is order-defined and stays sequential.
 pub fn compose_vertex_cover(outputs: &[VcCoresetOutput]) -> VertexCover {
     if outputs.is_empty() {
         return VertexCover::new();
     }
-    let n = outputs.iter().map(|o| o.residual.n()).max().unwrap_or(0);
-    let slices: Vec<&[Edge]> = outputs.iter().map(|o| o.residual.edges()).collect();
-    let mut cover = two_approx_cover_concat(n, &slices);
+    let (n, total_edges) = residual_slice_stats(outputs);
+    let mut cover = VertexCover::new();
+    if total_edges > 0 {
+        let slices: Vec<&[Edge]> = outputs.iter().map(|o| o.residual.edges()).collect();
+        cover = two_approx_cover_concat(n, &slices);
+    }
     for o in outputs {
         for &v in &o.fixed_vertices {
             cover.insert(v);
         }
     }
     cover
+}
+
+/// Parallel per-residual-slice statistics feeding [`two_approx_cover_concat`]:
+/// each machine's slice is scanned for its vertex extent (1 + max endpoint)
+/// and edge count on the work-stealing pool, then the per-slice results fold
+/// deterministically (`max` extent, `sum` of counts).
+///
+/// The tight extent sizes the 2-approximation's epoch-stamped workspace to
+/// the vertices the residuals actually touch instead of each machine's
+/// declared `n` — output-invariant, because the greedy scan only ever flags
+/// endpoints of scanned edges — and a zero edge total lets the caller skip
+/// the scan (and its workspace warm-up) outright.
+fn residual_slice_stats(outputs: &[VcCoresetOutput]) -> (usize, usize) {
+    let per_slice: Vec<(usize, usize)> = outputs
+        .par_iter()
+        .map(|o| {
+            let edges = o.residual.edges();
+            let extent = edges
+                .iter()
+                .map(|e| e.u.max(e.v) as usize + 1)
+                .max()
+                .unwrap_or(0);
+            (extent, edges.len())
+        })
+        .collect();
+    per_slice
+        .into_iter()
+        .fold((0, 0), |(n, m), (extent, count)| (n.max(extent), m + count))
 }
 
 #[cfg(test)]
@@ -192,6 +250,30 @@ mod tests {
         assert!(compose_vertex_cover(&[]).is_empty());
         let m = solve_composed_matching(&[Graph::empty(5)], MaximumMatchingAlgorithm::Auto);
         assert!(m.is_empty());
+    }
+
+    /// Pins the documented warm-start tie-break: among coresets that are
+    /// valid matchings, the **first one of maximal size** wins — a later
+    /// equally-sized piece or a larger non-matching piece never displaces it.
+    #[test]
+    fn warm_start_picks_the_first_coreset_of_maximal_size() {
+        let a = Graph::from_pairs(12, vec![(0, 1), (2, 3)]).unwrap();
+        // Same maximal size as `b` but earlier: must win the tie.
+        let b = Graph::from_pairs(12, vec![(4, 5), (6, 7), (8, 9)]).unwrap();
+        let c = Graph::from_pairs(12, vec![(0, 2), (1, 3), (4, 6)]).unwrap();
+        // Bigger than all of them but NOT a matching: must be skipped.
+        let not_matching = Graph::from_pairs(12, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let warm = best_piece_matching(&[a.clone(), b.clone(), c.clone(), not_matching.clone()])
+            .expect("three valid candidates");
+        assert_eq!(warm.edges(), b.edges(), "first maximal-size piece wins");
+        // Order flipped: `c` now precedes `b`, so `c` takes the tie.
+        let warm = best_piece_matching(&[a.clone(), c.clone(), b, not_matching.clone()])
+            .expect("three valid candidates");
+        assert_eq!(warm.edges(), c.edges());
+        // Only invalid candidates (or empty ones) → no warm start.
+        assert!(best_piece_matching(&[not_matching]).is_none());
+        assert!(best_piece_matching(&[Graph::empty(4)]).is_none());
+        assert!(best_piece_matching(&[]).is_none());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! the full simultaneous protocol of the paper on a single host: the `k`
 //! "machines" build their coresets concurrently on a scoped pool of real
 //! `std::thread` workers (the vendored rayon backend; worker count from
-//! `RC_THREADS` / `RAYON_NUM_THREADS` or all available cores), and the
+//! `RC_THREADS` / `RAYON_NUM_THREADS` or all available cores) that race a
+//! work-stealing chunk queue, so a dense machine of a skewed partition
+//! occupies one worker while its siblings drain the rest, and the
 //! returned reports include the per-machine coreset sizes so that callers can
 //! reason about communication (the `distsim` crate layers precise accounting
 //! and the MapReduce model on top of these primitives).
@@ -20,7 +22,12 @@
 //! `ChaCha8Rng` stream is derived from `(seed, machine)` *before* the
 //! parallel fan-out, and per-machine outputs are collected in machine order —
 //! so for a fixed seed the results are bit-identical regardless of how many
-//! worker threads run the machines or how they are scheduled.
+//! worker threads run the machines or how they are scheduled. The
+//! composition side keeps the same discipline: its independent sub-solves
+//! (warm-start screening, per-residual-slice statistics, per-weight-class
+//! matchings) fan out on the pool and reassemble in input order, while the
+//! order-defined greedy scans stay sequential (see [`crate::compose`] and
+//! [`crate::weighted`]).
 //!
 //! **Solver hot path:** every maximum-matching solve in the run — the
 //! per-piece coresets and the coordinator's composed solve — goes through

@@ -13,10 +13,18 @@
 //!   (with weights re-attached).
 //! * [`compose_weighted_matching`] — the coordinator: union of the per-class
 //!   coresets, combined greedily from the heaviest class down.
+//!
+//! Both sides fan their **independent per-class maximum-matching solves**
+//! out on the work-stealing pool (each class subgraph is disjoint work and
+//! the solver engine is per-thread); results come back in class order, and
+//! the greedy heaviest-first combine stays sequential, so the composed
+//! matching is bit-identical to a single-threaded run.
 
 use graph::{Edge, WeightedGraph};
+use matching::matching::Matching;
 use matching::maximum::maximum_matching;
 use matching::weighted::WeightedMatching;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// One machine's weighted matching coreset: for each geometric weight class,
@@ -60,13 +68,18 @@ impl WeightedMatchingCoreset {
     }
 
     /// Builds the coreset of one machine's weighted piece.
+    ///
+    /// The per-class maximum matchings are independent solves over disjoint
+    /// class subgraphs, so they run in parallel on the work-stealing pool
+    /// (per-thread solver engines); the output keeps class order, so the
+    /// coreset is identical at every thread count.
     pub fn build(&self, piece: &WeightedGraph) -> WeightedCoresetOutput {
         let classes = piece
             .weight_classes(self.base)
-            .into_iter()
+            .into_par_iter()
             .map(|(bound, class_graph)| {
                 let matching = maximum_matching(&class_graph);
-                let edges = matching
+                let edges: Vec<(Edge, f64)> = matching
                     .into_edges()
                     .into_iter()
                     .map(|e| {
@@ -104,21 +117,13 @@ pub fn compose_weighted_matching(n: usize, outputs: &[WeightedCoresetOutput]) ->
     // Heaviest class first.
     classes.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite class bounds"));
 
+    // The per-class union solves are independent — fan them out; the greedy
+    // combine below consumes them in the same heaviest-first order.
+    let solved = solve_class_matchings(n, classes);
+
     let mut matched = vec![false; n];
     let mut result = WeightedMatching::default();
-    for (_, edges) in classes {
-        // Maximum matching of this class's union (dedup edges first).
-        // Sorted map: `weight_of.keys()` feeds the class graph's edge list,
-        // so its iteration order must be deterministic.
-        let mut weight_of: BTreeMap<Edge, f64> = BTreeMap::new();
-        for (e, w) in &edges {
-            let slot = weight_of.entry(*e).or_insert(*w);
-            *slot = slot.max(*w);
-        }
-        let class_graph =
-            graph::Graph::from_edges(n, weight_of.keys().copied().collect::<Vec<_>>())
-                .expect("coreset edges are valid for the global vertex set");
-        let class_matching = maximum_matching(&class_graph);
+    for (weight_of, class_matching) in solved {
         for e in class_matching.edges() {
             let (u, v) = (e.u as usize, e.v as usize);
             if !matched[u] && !matched[v] {
@@ -130,6 +135,36 @@ pub fn compose_weighted_matching(n: usize, outputs: &[WeightedCoresetOutput]) ->
         }
     }
     result
+}
+
+/// Solves each weight class's union subgraph to a maximum matching on the
+/// work-stealing pool. Classes are independent (the greedy cross-class
+/// conflict resolution happens afterwards, sequentially, in the caller), the
+/// solver engine is per-thread, and the pool reassembles results in class
+/// order — so the output is identical to a sequential walk of `classes`.
+/// Returns each class's dedup'd weight map alongside its matching.
+fn solve_class_matchings(
+    n: usize,
+    classes: Vec<(f64, Vec<(Edge, f64)>)>,
+) -> Vec<(BTreeMap<Edge, f64>, Matching)> {
+    classes
+        .into_par_iter()
+        .map(|(_, edges)| {
+            // Dedup edges keeping the max weight per edge. Sorted map:
+            // `weight_of.keys()` feeds the class graph's edge list, so its
+            // iteration order must be deterministic.
+            let mut weight_of: BTreeMap<Edge, f64> = BTreeMap::new();
+            for (e, w) in &edges {
+                let slot = weight_of.entry(*e).or_insert(*w);
+                *slot = slot.max(*w);
+            }
+            let class_edges: Vec<Edge> = weight_of.keys().copied().collect();
+            let class_graph = graph::Graph::from_edges(n, class_edges)
+                .expect("coreset edges are valid for the global vertex set");
+            let class_matching = maximum_matching(&class_graph);
+            (weight_of, class_matching)
+        })
+        .collect()
 }
 
 #[cfg(test)]

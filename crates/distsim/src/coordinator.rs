@@ -11,8 +11,11 @@
 //!
 //! Machines execute **simultaneously on real OS threads**: the vendored rayon
 //! backend spawns a scoped pool of `std::thread` workers (worker count from
-//! `RC_THREADS` / `RAYON_NUM_THREADS`, or every available core) and each
-//! worker builds the coresets of its chunk of machines. All randomness is
+//! `RC_THREADS` / `RAYON_NUM_THREADS`, or every available core) that race a
+//! **work-stealing chunk queue** over the machines — a worker that finishes a
+//! sparse machine immediately claims more work, so one dense machine of a
+//! skewed partition no longer serializes the fan-out (experiment E15,
+//! `exp_sched_scaling`). All randomness is
 //! fixed *before* that fan-out — the edge partition is drawn from the run
 //! seed, and machine `i`'s private `ChaCha8Rng` stream is derived from
 //! `(seed, i)` via [`coresets::streams::machine_rng`] — and per-machine
@@ -29,6 +32,13 @@
 //! `vertexcover::VcEngine` (experiment E14): bucket-queue peeling per
 //! machine and a union-free composed 2-approximation at the coordinator,
 //! with zero per-round edge-buffer reallocations across the whole run.
+//!
+//! The coordinator's own composition step is parallel where its sub-solves
+//! are independent: the warm-start screen over the received coresets and the
+//! per-residual-slice statistics feeding the composed 2-approximation fan
+//! out on the same work-stealing pool and reduce deterministically (see
+//! `coresets::compose`), so composition answers are also bit-identical at
+//! every thread count.
 
 use crate::comm::{CommunicationCost, CostModel};
 use coresets::matching_coreset::MatchingCoresetBuilder;

@@ -19,6 +19,14 @@
 //! warm-started [`matching::MatchingEngine`] (experiment E13), and every
 //! vertex-cover peeling / composition runs on the bucket-queue
 //! `vertexcover::VcEngine` (experiment E14).
+//!
+//! Round 2's fan-out runs on the vendored rayon backend's **work-stealing
+//! chunk queue** (experiment E15): machines are handed to scoped workers a
+//! chunk at a time, so a machine holding a disproportionate share of the
+//! shuffled edges cannot serialize the round. Machine `M`'s composition also
+//! fans out its independent sub-solves (warm-start screening, residual-slice
+//! statistics) on the same pool; results reassemble in machine order, so
+//! simulated rounds stay bit-identical at every thread count.
 
 use crate::comm::CostModel;
 use coresets::matching_coreset::MatchingCoresetBuilder;

@@ -34,14 +34,11 @@ impl Matching {
     /// Builds a matching from edges, returning `None` if two edges share an
     /// endpoint.
     pub fn try_from_edges(edges: Vec<Edge>) -> Option<Self> {
-        // Membership-only probe set; order never observed.
-        let mut seen: HashSet<VertexId> = HashSet::with_capacity(edges.len() * 2); // xtask: allow(hash-collections)
-        for e in &edges {
-            if !seen.insert(e.u) || !seen.insert(e.v) {
-                return None;
-            }
+        if edges_form_matching(&edges) {
+            Some(Matching { edges })
+        } else {
+            None
         }
-        Some(Matching { edges })
     }
 
     /// Number of edges in the matching.
@@ -148,6 +145,16 @@ impl From<Vec<Edge>> for Matching {
     }
 }
 
+/// Returns `true` if no two of `edges` share an endpoint — the matching
+/// property, checkable on a borrowed slice without building a [`Matching`].
+/// Composition uses this to screen warm-start candidates before cloning any
+/// edge list.
+pub fn edges_form_matching(edges: &[Edge]) -> bool {
+    // Membership-only probe set; order never observed.
+    let mut seen: HashSet<VertexId> = HashSet::with_capacity(edges.len() * 2); // xtask: allow(hash-collections)
+    edges.iter().all(|e| seen.insert(e.u) && seen.insert(e.v))
+}
+
 /// Computes the exact maximum matching size of small graphs by exhaustive
 /// search over edge subsets (exponential; intended for cross-checking the real
 /// algorithms in tests, `m <= ~20`).
@@ -201,6 +208,23 @@ mod tests {
     fn from_edges_validates_disjointness() {
         assert!(Matching::try_from_edges(vec![Edge::new(0, 1), Edge::new(2, 3)]).is_some());
         assert!(Matching::try_from_edges(vec![Edge::new(0, 1), Edge::new(1, 2)]).is_none());
+    }
+
+    #[test]
+    fn borrowed_matching_check_agrees_with_try_from_edges() {
+        let good = vec![Edge::new(0, 1), Edge::new(2, 3)];
+        let bad = vec![Edge::new(0, 1), Edge::new(1, 2)];
+        assert!(edges_form_matching(&good));
+        assert!(!edges_form_matching(&bad));
+        assert!(edges_form_matching(&[]));
+        assert_eq!(
+            edges_form_matching(&good),
+            Matching::try_from_edges(good.clone()).is_some()
+        );
+        assert_eq!(
+            edges_form_matching(&bad),
+            Matching::try_from_edges(bad.clone()).is_some()
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! `xtask` — the workspace's static-analysis harness.
 //!
 //! `cargo run -p xtask -- lint` (or `cargo xtask lint` via the alias in
-//! `.cargo/config.toml`) walks `src/`, `crates/`, and `tests/` and enforces
-//! the determinism, hot-path and hygiene invariants the runtime test suite
-//! can only sample:
+//! `.cargo/config.toml`) walks `src/`, `crates/`, `tests/`, and
+//! `vendor/rayon/` (the scheduler is hot-path-linted; the other vendored
+//! stand-ins are not walked) and enforces the determinism, hot-path and
+//! hygiene invariants the runtime test suite can only sample:
 //!
 //! * **Token rules** ([`rules`]) — hash-map bans in protocol crates, ambient
 //!   entropy/wall-clock bans, `RC_THREADS` read confinement, allocation bans
@@ -31,8 +32,12 @@ use rules::Diagnostic;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// The directories (workspace-relative) the linter walks.
-pub const WALK_ROOTS: [&str; 3] = ["src", "crates", "tests"];
+/// The directories (workspace-relative) the linter walks. `vendor/rayon` is
+/// included deliberately: the work-stealing scheduler is a determinism- and
+/// allocation-critical hot path (its inner-loop functions are listed in
+/// `hotpaths.toml`), unlike the other vendored stand-ins, which stay outside
+/// the walk so they remain drop-in replaceable.
+pub const WALK_ROOTS: [&str; 4] = ["src", "crates", "tests", "vendor/rayon"];
 
 /// Path of the hot-path config, relative to the workspace root.
 pub const HOTPATHS_PATH: &str = "crates/xtask/hotpaths.toml";

@@ -1,12 +1,19 @@
-//! Offline stand-in for `rayon`, backed by **real `std::thread` parallelism**.
+//! Offline stand-in for `rayon`, backed by **real `std::thread` parallelism**
+//! with a deterministic **work-stealing scheduler**.
 //!
-//! Unlike the earlier sequential stub, `par_iter()`/`into_par_iter()` here
-//! execute their `map` stages on a scoped pool of OS threads: the input is
-//! split into one contiguous chunk per worker, each worker maps its chunk, and
-//! the per-chunk outputs are concatenated **in input order**. Results are
-//! therefore bit-identical to a sequential run regardless of the number of
-//! threads or how the OS schedules them — the property the workspace's
-//! cross-thread-count determinism tests (`tests/determinism.rs`) assert.
+//! `par_iter()`/`into_par_iter()` execute their `map` stages on a scoped pool
+//! of OS threads. The input is cut into **many more chunks than workers**
+//! (8 per worker, size-capped — see `CHUNKS_PER_WORKER` /
+//! `MAX_CHUNK_SIZE`) and the workers *race an atomic cursor* over the chunk
+//! queue: a worker that finishes a cheap chunk immediately claims the next
+//! one, so a single expensive chunk — the dense machine of a skewed edge
+//! partition — occupies one worker while the others drain the rest of the
+//! queue. Chunk outputs are written into per-chunk slots and reassembled **by
+//! chunk index**, so the result is bit-identical to a sequential run
+//! regardless of the number of threads, how the OS schedules them, or which
+//! worker claimed which chunk — the property the workspace's
+//! cross-thread-count determinism tests (`tests/determinism.rs`) and
+//! scheduler-fuzz suite (`tests/sched_fuzz.rs`) assert.
 //!
 //! The worker count is resolved, in priority order, from:
 //!
@@ -15,34 +22,50 @@
 //! 3. the `RAYON_NUM_THREADS` environment variable (rayon's own knob),
 //! 4. [`std::thread::available_parallelism`].
 //!
+//! For the *process default* (what a bare `par_iter()` outside any `install`
+//! scope uses) the environment is read **once** and cached for the lifetime
+//! of the process. A [`ThreadPoolBuilder`] with `num_threads(0)`, by
+//! contrast, re-reads `RC_THREADS` / `RAYON_NUM_THREADS` **at `build()`
+//! time** — so a pool built after an environment change observes the new
+//! value, while the cached process default stays frozen (test harnesses rely
+//! on both behaviours; see `builder_resolves_env_at_build_time`).
+//!
+//! **Nested parallel calls from inside a worker thread execute inline** on
+//! that worker, sequentially — no fresh scope is spawned. This keeps the
+//! worker count bounded by the outermost scope, makes nested calls
+//! deadlock-free by construction, and is deterministic (inline execution is
+//! exactly the sequential order). The simulators only nest through the
+//! composition helpers, which are called both from protocol code (outside the
+//! fan-out) and from tests that wrap whole runs in `par_iter`.
+//!
 //! Only the API surface this workspace uses is provided (`par_iter`,
 //! `into_par_iter`, `map`, `enumerate`, `filter`, `collect`, `sum`, `count`,
 //! `for_each`, plus `ThreadPoolBuilder`/`ThreadPool` and
 //! [`current_num_threads`]); swapping the real rayon back in remains a
-//! manifest-only change. Nested parallel calls from inside a worker thread are
-//! executed with the default thread count (a fresh scope is spawned); the
-//! simulators never nest, so this is a documented simplification rather than a
-//! limitation in practice.
+//! manifest-only change.
 //!
 //! ## Scheduler fuzzing (`RC_SCHED_FUZZ`)
 //!
 //! Setting `RC_SCHED_FUZZ=<seed>` (or wrapping a call in
-//! [`sched_fuzz::with_fuzz`]) switches `map` execution to an adversarial
-//! work-stealing schedule: the input is cut into ~4× more chunks than
-//! workers, the dispatch order is shuffled by a seed-derived permutation, and
-//! workers race to pull chunks from a shared queue with an OS yield injected
-//! at every chunk boundary. Because chunk outputs are still reassembled by
-//! chunk index, a correct caller observes bit-identical results under every
-//! seed; a caller that secretly depends on dispatch order (e.g. mutates
-//! shared state from inside a `map`) will diverge. `tests/sched_fuzz.rs` in
-//! the workspace root reruns the distributed protocols under dozens of fuzzed
-//! schedules and asserts their fingerprints never move.
+//! [`sched_fuzz::with_fuzz`]) runs the **same work-stealing engine under an
+//! adversarial dispatch permutation**: the chunk queue the workers race over
+//! is permuted by a seed-derived schedule, and an OS yield is injected at
+//! every chunk boundary to widen the interleaving window. Fuzzing is not a
+//! parallel re-implementation — plain and fuzzed execution share one worker
+//! loop; the fuzz seed only chooses the order in which the cursor hands out
+//! chunks. Because chunk outputs are still reassembled by chunk index, a
+//! correct caller observes bit-identical results under every seed; a caller
+//! that secretly depends on dispatch order (e.g. mutates shared state from
+//! inside a `map`) will diverge. `tests/sched_fuzz.rs` in the workspace root
+//! reruns the distributed protocols under dozens of fuzzed schedules and
+//! thread counts and asserts their fingerprints never move.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cell::Cell;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Thread-count resolution.
@@ -54,6 +77,10 @@ static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 thread_local! {
     /// Per-thread override installed by [`ThreadPool::install`]; `0` = none.
     static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+
+    /// Set while this thread is executing chunks as a scoped worker; nested
+    /// parallel calls check it and run inline instead of spawning a scope.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
 fn env_threads(var: &str) -> Option<usize> {
@@ -63,21 +90,27 @@ fn env_threads(var: &str) -> Option<usize> {
         .filter(|&n| n >= 1)
 }
 
+/// Fresh (uncached) environment resolution: `RC_THREADS`, then
+/// `RAYON_NUM_THREADS`. Used by [`ThreadPoolBuilder::build`] so pools built
+/// after an environment change observe the new value.
+fn env_threads_fresh() -> Option<usize> {
+    env_threads("RC_THREADS").or_else(|| env_threads("RAYON_NUM_THREADS"))
+}
+
 fn default_num_threads() -> usize {
     *DEFAULT_THREADS.get_or_init(|| {
-        env_threads("RC_THREADS")
-            .or_else(|| env_threads("RAYON_NUM_THREADS"))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        env_threads_fresh().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     })
 }
 
 /// The number of worker threads parallel iterators will use on this thread:
 /// the innermost [`ThreadPool::install`] scope if one is active, otherwise the
-/// process default (`RC_THREADS` / `RAYON_NUM_THREADS` / available cores).
+/// process default (`RC_THREADS` / `RAYON_NUM_THREADS` / available cores,
+/// cached at first use).
 pub fn current_num_threads() -> usize {
     let installed = INSTALLED_THREADS.with(Cell::get);
     if installed >= 1 {
@@ -116,16 +149,29 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the worker count; `0` means "use the default resolution".
+    /// Sets the worker count; `0` means "resolve from the environment at
+    /// [`build`](Self::build) time".
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
     /// Builds the pool. Infallible in this vendored implementation.
+    ///
+    /// A builder with `num_threads(0)` resolves the worker count **here**, in
+    /// priority order: a fresh read of `RC_THREADS`, a fresh read of
+    /// `RAYON_NUM_THREADS`, then the cached process default (which itself
+    /// froze the environment at its first resolution). Re-reading at build
+    /// time means `build()` after `std::env::set_var("RC_THREADS", ..)` never
+    /// silently uses a stale count.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let resolved = if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            env_threads_fresh().unwrap_or_else(default_num_threads)
+        };
         Ok(ThreadPool {
-            num_threads: self.num_threads,
+            num_threads: resolved,
         })
     }
 }
@@ -134,7 +180,8 @@ impl ThreadPoolBuilder {
 ///
 /// Unlike real rayon no threads are kept alive between calls — workers are
 /// spawned per parallel operation with `std::thread::scope` — but the
-/// observable semantics (worker count inside `install`) match.
+/// observable semantics (worker count inside `install`) match. The count is
+/// fully resolved at [`ThreadPoolBuilder::build`] time.
 ///
 /// [`install`]: ThreadPool::install
 #[derive(Debug)]
@@ -160,24 +207,16 @@ impl ThreadPool {
     where
         OP: FnOnce() -> R,
     {
-        let resolved = if self.num_threads >= 1 {
-            self.num_threads
-        } else {
-            default_num_threads()
-        };
         let _guard = InstallGuard {
-            previous: INSTALLED_THREADS.with(|c| c.replace(resolved)),
+            previous: INSTALLED_THREADS.with(|c| c.replace(self.num_threads)),
         };
         op()
     }
 
-    /// The worker count closures run under this pool will observe.
+    /// The worker count closures run under this pool will observe (resolved
+    /// at build time).
     pub fn current_num_threads(&self) -> usize {
-        if self.num_threads >= 1 {
-            self.num_threads
-        } else {
-            default_num_threads()
-        }
+        self.num_threads
     }
 }
 
@@ -189,11 +228,10 @@ impl ThreadPool {
 ///
 /// With a fuzz seed active (from the `RC_SCHED_FUZZ` environment variable or
 /// a surrounding [`with_fuzz`](sched_fuzz::with_fuzz) scope), every parallel
-/// `map` randomizes which
-/// worker picks up which chunk and in what order, and yields the OS scheduler
-/// at each chunk boundary. Results are still assembled in input order, so the
-/// fuzzing is observable only to code that (incorrectly) depends on execution
-/// order.
+/// `map` runs the ordinary work-stealing engine but hands chunks out in a
+/// seed-derived permuted order, and yields the OS scheduler at each chunk
+/// boundary. Results are still assembled in input order, so the fuzzing is
+/// observable only to code that (incorrectly) depends on execution order.
 pub mod sched_fuzz {
     use std::cell::Cell;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -332,15 +370,58 @@ pub mod sched_fuzz {
 }
 
 // ---------------------------------------------------------------------------
-// The parallel execution core.
+// The work-stealing execution core.
 // ---------------------------------------------------------------------------
 
-/// Maps `f` over `items` on up to [`current_num_threads`] scoped threads.
+/// How many chunks the scheduler cuts per worker. Chunk-count ≫ threads is
+/// what lets a worker that drew a cheap chunk steal the next one instead of
+/// idling while a skewed chunk pins a sibling.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Upper bound on items per chunk, so very large inputs still split finely
+/// even at low thread counts (more chunks = finer-grained stealing; the
+/// per-chunk overhead is one atomic increment and two uncontended locks).
+const MAX_CHUNK_SIZE: usize = 4096;
+
+/// The chunk size for `total` items on `threads` workers: targets
+/// [`CHUNKS_PER_WORKER`] chunks per worker, capped at [`MAX_CHUNK_SIZE`]
+/// items per chunk, and never 0. With `total >= threads` every worker has at
+/// least one chunk to claim (the old one-chunk-per-worker split could leave
+/// workers idle: 9 items on 4 threads made only 3 chunks of `div_ceil` size).
+fn chunk_size_for(total: usize, threads: usize) -> usize {
+    let target_chunks = (threads * CHUNKS_PER_WORKER).max(1);
+    total.div_ceil(target_chunks).clamp(1, MAX_CHUNK_SIZE)
+}
+
+/// Marks the current thread as a scoped worker for the duration of a
+/// [`worker_loop`] run, restoring the previous state on drop (panics
+/// included) so panic propagation never leaves the flag stuck.
+struct WorkerGuard {
+    previous: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        WorkerGuard {
+            previous: IN_WORKER.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_WORKER.with(|c| c.set(self.previous));
+    }
+}
+
+/// Maps `f` over `items` on up to [`current_num_threads`] scoped threads via
+/// the work-stealing engine.
 ///
-/// The input is cut into contiguous chunks (one per worker) and the chunk
-/// outputs are concatenated in chunk order, so the result is always identical
-/// to `items.into_iter().map(f).collect()` — parallelism changes wall-clock
-/// time, never the answer. A panic in any worker is resumed on the caller.
+/// Chunk outputs are reassembled by chunk index, so the result is always
+/// identical to `items.into_iter().map(f).collect()` — parallelism changes
+/// wall-clock time, never the answer. A panic in any worker is resumed on the
+/// caller. Nested calls from inside a worker execute inline (sequentially on
+/// that worker) rather than spawning a fresh scope.
 fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
@@ -348,97 +429,52 @@ where
     F: Fn(T) -> R + Sync,
 {
     let threads = current_num_threads().min(items.len());
-    if threads <= 1 {
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
         return items.into_iter().map(f).collect();
     }
-    if let Some(seed) = sched_fuzz::active_seed() {
-        return fuzzed_parallel_map(items, f, threads, seed);
-    }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::new();
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => out.extend(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-        out
-    })
+    work_steal_map(items, f, threads, sched_fuzz::active_seed())
 }
 
-/// The [`parallel_map`] core under an adversarial schedule (see
-/// [`sched_fuzz`]).
-///
-/// Differences from the plain path, all invisible in the output:
-///
-/// * the input is cut into ~4 chunks per worker (so chunk-to-worker
-///   assignment is a real degree of freedom, not fixed 1:1),
-/// * the dispatch queue is permuted by the seed-derived schedule, and
-///   workers *race* to pop from it — which worker runs which chunk depends
-///   on OS timing,
-/// * every worker yields the OS scheduler between chunks, widening the
-///   interleaving window.
-///
-/// Chunk outputs are tagged with their chunk index and reassembled in input
-/// order, so for any caller whose `f` is a pure function the result is
-/// bit-identical to the sequential run under every seed.
-fn fuzzed_parallel_map<T, R, F>(items: Vec<T>, f: &F, threads: usize, seed: u64) -> Vec<R>
+/// The scheduler proper: cut `items` into chunks, race `threads` scoped
+/// workers over an atomic cursor on the chunk queue, reassemble by chunk
+/// index. `fuzz_seed` permutes the dispatch order (and injects OS yields at
+/// chunk boundaries) without changing anything else — plain and fuzzed
+/// execution share this one engine.
+fn work_steal_map<T, R, F>(items: Vec<T>, f: &F, threads: usize, fuzz_seed: Option<u64>) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    use std::sync::Mutex;
-
     let total = items.len();
-    let target_chunks = (threads * 4).clamp(1, total);
-    let chunk_size = total.div_ceil(target_chunks);
-    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(target_chunks);
+    let chunk_size = chunk_size_for(total, threads);
+    // Job slots: each chunk is claimed exactly once (the cursor hands every
+    // queue position to exactly one worker); the per-slot mutex is what lets
+    // safe Rust express that hand-off and is uncontended by construction.
+    let mut jobs: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(total.div_ceil(chunk_size));
     let mut it = items.into_iter();
     loop {
         let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
         if chunk.is_empty() {
             break;
         }
-        chunks.push((chunks.len(), chunk));
+        jobs.push(Mutex::new(Some(chunk)));
     }
-    let n_chunks = chunks.len();
-    let order = sched_fuzz::dispatch_order(seed, n_chunks);
-    let mut queue_vec: Vec<Option<(usize, Vec<T>)>> = chunks.into_iter().map(Some).collect();
-    // Workers pop from the back, so the last entry of `shuffled` is dispatched
-    // first; the permutation already makes the order arbitrary.
-    let mut shuffled: Vec<(usize, Vec<T>)> = Vec::with_capacity(n_chunks);
-    for &i in &order {
-        shuffled.push(queue_vec[i].take().expect("each chunk dispatched once"));
-    }
-    let queue = Mutex::new(shuffled);
-    let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let n_chunks = jobs.len();
+    // Dispatch order over queue positions: identity normally, a seed-derived
+    // permutation under fuzzing. Which *worker* runs which chunk is always a
+    // race; only the hand-out order is pinned.
+    let order: Vec<usize> = match fuzz_seed {
+        Some(seed) => sched_fuzz::dispatch_order(seed, n_chunks),
+        None => (0..n_chunks).collect(),
+    };
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let yield_at_boundaries = fuzz_seed.is_some();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let job = queue.lock().expect("queue lock").pop();
-                    let Some((idx, chunk)) = job else { break };
-                    let part: Vec<R> = chunk.into_iter().map(f).collect();
-                    results.lock().expect("results lock").push((idx, part));
-                    // Chunk-boundary yield: hand the OS scheduler a chance to
-                    // interleave the racing workers differently.
-                    std::thread::yield_now();
-                })
+                scope.spawn(|| worker_loop(&cursor, &order, &jobs, &slots, f, yield_at_boundaries))
             })
             .collect();
         for handle in handles {
@@ -447,12 +483,56 @@ where
             }
         }
     });
-    let mut parts = results.into_inner().expect("results mutex");
-    parts.sort_unstable_by_key(|&(idx, _)| idx);
+    reassemble(slots, total)
+}
+
+/// One worker's life: claim the next queue position from the shared cursor,
+/// map the chunk it names, write the output into that chunk's slot, repeat
+/// until the queue is drained. Runs with the in-worker flag set so nested
+/// parallel calls inside `f` execute inline.
+fn worker_loop<T, R, F>(
+    cursor: &AtomicUsize,
+    order: &[usize],
+    jobs: &[Mutex<Option<Vec<T>>>],
+    slots: &[Mutex<Option<Vec<R>>>],
+    f: &F,
+    yield_at_boundaries: bool,
+) where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let _guard = WorkerGuard::enter();
+    loop {
+        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&idx) = order.get(pos) else { break };
+        let chunk = jobs[idx]
+            .lock()
+            .expect("job lock")
+            .take()
+            .expect("each chunk is claimed exactly once");
+        let part: Vec<R> = chunk.into_iter().map(f).collect();
+        *slots[idx].lock().expect("slot lock") = Some(part);
+        if yield_at_boundaries {
+            // Chunk-boundary yield (fuzz mode): hand the OS scheduler a
+            // chance to interleave the racing workers differently.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Concatenates the per-chunk outputs in chunk-index order into one
+/// preallocated vector — the step that makes the racing schedule invisible.
+fn reassemble<R>(slots: Vec<Mutex<Option<Vec<R>>>>, total: usize) -> Vec<R> {
     let mut out = Vec::with_capacity(total);
-    for (_, part) in parts {
+    for slot in slots {
+        let part = slot
+            .into_inner()
+            .expect("slot mutex")
+            .expect("every claimed chunk wrote its slot");
         out.extend(part);
     }
+    debug_assert_eq!(out.len(), total, "output length must equal input length");
     out
 }
 
@@ -464,8 +544,8 @@ where
 ///
 /// Pipelines are built lazily (`map`, `enumerate`, `filter`) and executed by
 /// the consuming methods (`collect`, `sum`, `count`, `for_each`); `map` stages
-/// run on the scoped thread pool, everything else is cheap bookkeeping on the
-/// calling thread.
+/// run on the work-stealing scoped pool, everything else is cheap bookkeeping
+/// on the calling thread.
 pub trait ParallelIterator: Sized + Send {
     /// The element type produced by this iterator.
     type Item: Send;
@@ -707,6 +787,55 @@ mod tests {
         }
     }
 
+    /// The satellite micro-assert: output length (and order) equals input
+    /// length for every (length, thread-count) combination, including the
+    /// `len % threads != 0` tails that starved workers under the old
+    /// one-chunk-per-worker split (9 items × 4 threads made only 3 chunks).
+    #[test]
+    fn every_tail_length_is_preserved() {
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 9, 17, 63, 100, 1001] {
+            let input: Vec<usize> = (0..len).collect();
+            let expected: Vec<usize> = input.iter().map(|x| x + 1).collect();
+            for threads in [1, 2, 3, 4, 5, 8] {
+                let got: Vec<usize> =
+                    with_threads(threads, || input.par_iter().map(|&x| x + 1).collect());
+                assert_eq!(got.len(), len, "len {len} × {threads} threads");
+                assert_eq!(got, expected, "len {len} × {threads} threads");
+            }
+        }
+    }
+
+    /// The chunk-layout math behind the queue: chunk count is ≥ the worker
+    /// count whenever the input allows it (no idle workers on ragged
+    /// lengths), targets [`CHUNKS_PER_WORKER`] chunks per worker, and the
+    /// chunk sizes always tile the input exactly.
+    #[test]
+    fn chunk_layout_leaves_no_worker_idle_and_tiles_exactly() {
+        for total in [1usize, 2, 3, 9, 16, 17, 100, 1000, 100_000] {
+            for threads in [1usize, 2, 3, 4, 8, 64] {
+                let size = chunk_size_for(total, threads);
+                assert!((1..=MAX_CHUNK_SIZE).contains(&size));
+                let n_chunks = total.div_ceil(size);
+                // Enough chunks for every worker whenever the input allows.
+                assert!(
+                    n_chunks >= threads.min(total),
+                    "total {total} × {threads} threads: {n_chunks} chunks of {size}"
+                );
+                // The chunks tile the input exactly: n-1 full chunks plus a
+                // non-empty tail.
+                assert!((n_chunks - 1) * size < total && total <= n_chunks * size);
+            }
+        }
+        // 9 items × 4 threads — the old one-chunk-per-worker split produced
+        // only 3 chunks (div_ceil size 3), idling a worker; the queue now
+        // yields 9 schedulable unit chunks.
+        assert_eq!(chunk_size_for(9, 4), 1);
+        assert_eq!(9usize.div_ceil(chunk_size_for(9, 4)), 9);
+        // Huge inputs stay finely split: the size cap keeps stealing granular
+        // even at low thread counts.
+        assert_eq!(chunk_size_for(1_000_000, 2), MAX_CHUNK_SIZE);
+    }
+
     #[test]
     fn enumerate_indices_follow_input_order() {
         let items = vec!["a", "b", "c", "d", "e"];
@@ -729,20 +858,57 @@ mod tests {
         );
     }
 
+    /// With work stealing a fast worker may drain the whole queue before its
+    /// siblings are scheduled, so distribution is forced with a barrier: four
+    /// items, four workers, and every item blocks until all four workers have
+    /// claimed one — which requires four distinct threads to participate.
     #[test]
     fn work_is_actually_distributed_across_threads() {
         use std::collections::HashSet;
-        use std::sync::Mutex;
+        use std::sync::{Barrier, Mutex};
+        let barrier = Barrier::new(4);
         let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         with_threads(4, || {
-            (0..64usize).into_par_iter().for_each(|_| {
+            (0..4usize).into_par_iter().for_each(|_| {
                 ids.lock().unwrap().insert(std::thread::current().id());
+                barrier.wait();
             });
         });
-        assert!(
-            ids.lock().unwrap().len() > 1,
-            "a 4-thread pool over 64 items must use more than one thread"
+        assert_eq!(
+            ids.lock().unwrap().len(),
+            4,
+            "four barrier-synchronised items require four distinct workers"
         );
+    }
+
+    /// Nested parallel calls from inside a worker execute inline on that
+    /// worker — same thread, sequential order — instead of spawning a fresh
+    /// default-width scope.
+    #[test]
+    fn nested_parallel_calls_execute_inline() {
+        let results: Vec<Vec<usize>> = with_threads(4, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|outer| {
+                    let caller = std::thread::current().id();
+                    (0..16usize)
+                        .into_par_iter()
+                        .map(|inner| {
+                            assert_eq!(
+                                std::thread::current().id(),
+                                caller,
+                                "nested call left its worker thread"
+                            );
+                            outer * 100 + inner
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        for (outer, inner_results) in results.iter().enumerate() {
+            let expected: Vec<usize> = (0..16).map(|i| outer * 100 + i).collect();
+            assert_eq!(inner_results, &expected);
+        }
     }
 
     #[test]
@@ -794,6 +960,62 @@ mod tests {
         assert!(pool.current_num_threads() >= 1);
     }
 
+    /// The staleness regression: a `num_threads(0)` builder resolves the
+    /// environment at `build()` time, so a pool built after an env change
+    /// observes the new value — while the cached process default (used by
+    /// bare calls outside `install`) stays frozen at its first resolution.
+    /// Guarded by a lock because the test mutates process-global env state.
+    #[test]
+    fn builder_resolves_env_at_build_time() {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved_rc = std::env::var("RC_THREADS").ok();
+        let saved_rayon = std::env::var("RAYON_NUM_THREADS").ok();
+
+        // Freeze the process default before mutating the environment.
+        let frozen_default = default_num_threads();
+
+        std::env::set_var("RC_THREADS", "3");
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(
+            pool.current_num_threads(),
+            3,
+            "build() must re-read RC_THREADS"
+        );
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+
+        // RC_THREADS takes precedence over RAYON_NUM_THREADS…
+        std::env::set_var("RAYON_NUM_THREADS", "5");
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+
+        // …and RAYON_NUM_THREADS applies when RC_THREADS is gone.
+        std::env::remove_var("RC_THREADS");
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 5);
+
+        // With both gone, build() falls back to the cached process default.
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(pool.current_num_threads(), frozen_default);
+        assert_eq!(default_num_threads(), frozen_default);
+
+        // An explicit num_threads(n >= 1) never consults the environment.
+        std::env::set_var("RC_THREADS", "7");
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+
+        match saved_rc {
+            Some(v) => std::env::set_var("RC_THREADS", v),
+            None => std::env::remove_var("RC_THREADS"),
+        }
+        match saved_rayon {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+
     #[test]
     fn fuzzed_schedules_preserve_results_for_every_seed() {
         let input: Vec<usize> = (0..777).collect();
@@ -834,7 +1056,7 @@ mod tests {
         }
         assert!(
             saw_reordering,
-            "16 fuzzed schedules over 16 chunks never perturbed execution order"
+            "16 fuzzed schedules over many chunks never perturbed execution order"
         );
     }
 
