@@ -4,8 +4,12 @@
 //! obtained by running an (arbitrary) algorithm for the problem on the
 //! **union** of the coresets. This module implements exactly that step:
 //!
-//! * [`compose_matching`] — union the matching-coreset subgraphs.
-//! * [`solve_composed_matching`] — union + maximum matching of the union.
+//! * [`compose_matching`] — union the matching-coreset subgraphs (kept for
+//!   callers that want the composed graph itself).
+//! * [`solve_composed_matching`] — maximum matching of the union, solved
+//!   straight off the coreset edge slices in machine order
+//!   ([`matching::maximum::maximum_matching_concat`]) — the union `Graph` is
+//!   never materialized, mirroring the vertex-cover side.
 //! * [`compose_vertex_cover`] — union the fixed vertex sets, cover the union
 //!   of the residual subgraphs with a 2-approximation, and return the
 //!   combined cover (paper, Section 3.2). The residual union is **never
@@ -26,7 +30,7 @@
 use crate::vc_coreset::VcCoresetOutput;
 use graph::{Edge, Graph};
 use matching::matching::{edges_form_matching, Matching};
-use matching::maximum::{maximum_matching_warm, maximum_matching_with, MaximumMatchingAlgorithm};
+use matching::maximum::{maximum_matching_concat, MaximumMatchingAlgorithm};
 use rayon::prelude::*;
 use vertexcover::approx::two_approx_cover_concat;
 use vertexcover::VertexCover;
@@ -37,8 +41,17 @@ pub fn compose_matching(coresets: &[Graph]) -> Graph {
     Graph::union(&refs)
 }
 
-/// Unions the coresets and extracts a maximum matching of the union — the
-/// coordinator's full computation for the matching problem.
+/// Extracts a maximum matching of the coresets' union — the coordinator's
+/// full computation for the matching problem.
+///
+/// The union is **never materialized**: the solver compacts and solves the
+/// coreset edge slices in machine order directly
+/// ([`matching::maximum::maximum_matching_concat`]), mirroring the
+/// vertex-cover side's [`two_approx_cover_concat`]. Per-machine coresets are
+/// edge-disjoint (each is a subgraph of its machine's partition piece), so
+/// the concatenation *is* the first-occurrence-preserving union the old
+/// `Graph::union` path built — same edge sequence into the solver, hence
+/// bit-identical answers (pinned by the composition proptests).
 ///
 /// The solve is **warm-started** from the largest per-machine coreset that is
 /// itself a matching (with the paper's builders, every coreset is one): its
@@ -46,16 +59,23 @@ pub fn compose_matching(coresets: &[Graph]) -> Graph {
 /// matching that is already within a constant factor of the union's optimum
 /// (Theorem 1's analysis) lets the engine skip most augmenting work. Warm
 /// starts never change the returned *size* — the engine always terminates at
-/// a maximum matching of the union (pinned by the composition proptests).
+/// a maximum matching of the union.
 pub fn solve_composed_matching(
     coresets: &[Graph],
     algorithm: MaximumMatchingAlgorithm,
 ) -> Matching {
-    let composed = compose_matching(coresets);
-    match best_piece_matching(coresets) {
-        Some(warm) => maximum_matching_warm(&composed, &warm, algorithm),
-        None => maximum_matching_with(&composed, algorithm),
-    }
+    assert!(
+        !coresets.is_empty(),
+        "composition of zero coresets is undefined"
+    );
+    let n = coresets[0].n();
+    debug_assert!(
+        coresets.iter().all(|c| c.n() == n),
+        "all coresets must share the vertex set"
+    );
+    let warm = best_piece_matching(coresets);
+    let slices: Vec<&[Edge]> = coresets.iter().map(|c| c.edges()).collect();
+    maximum_matching_concat(n, &slices, warm.as_ref(), algorithm)
 }
 
 /// The largest coreset that forms a valid matching, as the warm start for

@@ -28,7 +28,11 @@
 //!   experiments (Theorems 3 and 4).
 //! * [`weighted`] — the Crouch–Stubbs weighted-matching extension.
 //! * [`streams`] — per-machine `ChaCha8Rng` streams derived from
-//!   `(seed, machine)`, the basis of cross-thread-count determinism.
+//!   `(seed, machine)` — extended to `(seed, level, node)` for tree nodes —
+//!   the basis of cross-thread-count determinism.
+//! * [`tree`] — hierarchical composition (Mirrokni–Zadimoghaddam): merge
+//!   coresets `fan_in` at a time over `log k` levels, re-coreseting each
+//!   union, so no merge node materializes more than `fan_in` coresets.
 //! * [`pipeline`] — end-to-end convenience runners (random partition → build
 //!   coresets on parallel OS threads → compose), the API most examples use.
 //!
@@ -62,6 +66,7 @@ pub mod matching_coreset;
 pub mod params;
 pub mod pipeline;
 pub mod streams;
+pub mod tree;
 pub mod vc_coreset;
 pub mod weighted;
 
@@ -76,7 +81,11 @@ pub use params::CoresetParams;
 pub use pipeline::{
     DistributedMatching, DistributedVertexCover, MatchingRunResult, VertexCoverRunResult,
 };
-pub use streams::{machine_jobs, machine_rng};
+pub use streams::{machine_jobs, machine_rng, node_rng};
+pub use tree::{
+    merge_matching_coresets, merge_vc_coresets, reduce_levels, tree_compose_vertex_cover,
+    tree_solve_matching, TreeFolder, TreePlan,
+};
 pub use vc_coreset::{
     GroupedVcCoreset, LocalCoverCoreset, PeelingVcCoreset, VcCoresetBuilder, VcCoresetOutput,
 };

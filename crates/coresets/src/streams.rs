@@ -26,9 +26,30 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// 32-byte ChaCha8 key, so streams are decorrelated even for adjacent seeds
 /// and machine indices, and distinct from the partitioning RNG (which is
 /// seeded from `seed` directly via `seed_from_u64`).
+///
+/// Equivalent to [`node_rng`]`(seed, 0, machine)`: the machines are level 0
+/// of the composition tree, so the leaf streams of a hierarchical run are
+/// bit-identical to the machine streams of a flat run.
 pub fn machine_rng(seed: u64, machine: usize) -> ChaCha8Rng {
+    node_rng(seed, 0, machine)
+}
+
+/// Derives the private RNG stream of tree node `(level, node)` for a run
+/// with seed `seed` — the hierarchical extension of [`machine_rng`].
+///
+/// Level 0 is the machines (leaves); level `l ≥ 1` is the `l`-th merge round
+/// of the composition tree, with `node` the merge-group index within the
+/// round. The stream depends only on `(seed, level, node)` — never on thread
+/// count or schedule — so tree-composed outputs stay bit-identical across
+/// thread counts and under scheduler fuzzing. The level multiplier is a
+/// distinct odd constant so `(level, node)` pairs cannot alias each other's
+/// mixed states, and level 0 reproduces the historical `machine_rng` streams
+/// exactly.
+pub fn node_rng(seed: u64, level: usize, node: usize) -> ChaCha8Rng {
     use rand::SeedableRng;
-    let mut state = seed ^ (machine as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut state = seed
+        ^ (node as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (level as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
     let mut key = [0u8; 32];
     for chunk in key.chunks_exact_mut(8) {
         chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
@@ -83,6 +104,32 @@ mod tests {
                 assert!(
                     seen.insert(words),
                     "collision at seed {seed}, machine {machine}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_zero_node_streams_are_the_machine_streams() {
+        for seed in [0, 42, u64::MAX] {
+            for machine in [0usize, 1, 7, 1000] {
+                assert_eq!(
+                    first_words(&mut machine_rng(seed, machine), 4),
+                    first_words(&mut node_rng(seed, 0, machine), 4)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_streams_differ_across_levels_and_nodes() {
+        let mut seen = std::collections::HashSet::new();
+        for level in 0..4usize {
+            for node in 0..8usize {
+                let words = first_words(&mut node_rng(9, level, node), 2);
+                assert!(
+                    seen.insert(words),
+                    "collision at level {level}, node {node}"
                 );
             }
         }

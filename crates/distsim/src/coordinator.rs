@@ -42,17 +42,40 @@
 
 use crate::comm::{CommunicationCost, CostModel};
 use coresets::matching_coreset::MatchingCoresetBuilder;
-use coresets::streams::machine_jobs;
+use coresets::streams::{machine_jobs, machine_rng};
+use coresets::tree::{merge_matching_coresets, merge_vc_coresets, TreeFolder};
 use coresets::vc_coreset::{VcCoresetBuilder, VcCoresetOutput};
-use coresets::{compose_vertex_cover, solve_composed_matching, CoresetParams};
+use coresets::{
+    compose_vertex_cover, solve_composed_matching, tree_compose_vertex_cover, tree_solve_matching,
+    CoresetParams,
+};
+use graph::arena_file::{ArenaFile, SegmentLoader};
 use graph::partition::{PartitionStrategy, PartitionedGraph};
-use graph::{Graph, GraphError};
+use graph::{metrics, Graph, GraphError};
 use matching::matching::Matching;
 use matching::maximum::MaximumMatchingAlgorithm;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use vertexcover::VertexCover;
+
+/// How the coordinator combines the `k` received coresets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComposeMode {
+    /// One flat union of all `k` coresets, solved in a single step (the
+    /// paper's literal model).
+    #[default]
+    Flat,
+    /// Hierarchical composition: merge coresets `fan_in` at a time over
+    /// `⌈log_f k⌉` levels, re-coreseting each merged union through the same
+    /// builder (Mirrokni–Zadimoghaddam associativity), then solve the
+    /// `≤ fan_in` roots flat. Bounded per-node memory; bit-identical across
+    /// thread counts (see [`coresets::tree`]).
+    Tree {
+        /// Coresets merged per tree node; must be at least 2.
+        fan_in: usize,
+    },
+}
 
 /// Configuration of one simultaneous-protocol run.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +86,9 @@ pub struct CoordinatorProtocol {
     /// [`PartitionStrategy::Random`]; the adversarial strategy is provided for
     /// the negative-control experiments).
     pub strategy: PartitionStrategy,
+    /// How the coordinator composes the received coresets (flat union by
+    /// default).
+    pub compose: ComposeMode,
 }
 
 impl CoordinatorProtocol {
@@ -71,6 +97,7 @@ impl CoordinatorProtocol {
         CoordinatorProtocol {
             k,
             strategy: PartitionStrategy::Random,
+            compose: ComposeMode::Flat,
         }
     }
 
@@ -79,7 +106,19 @@ impl CoordinatorProtocol {
         CoordinatorProtocol {
             k,
             strategy: PartitionStrategy::Adversarial,
+            compose: ComposeMode::Flat,
         }
+    }
+
+    /// Random partitioning with hierarchical (tree) composition.
+    pub fn tree(k: usize, fan_in: usize) -> Self {
+        CoordinatorProtocol::random(k).with_compose(ComposeMode::Tree { fan_in })
+    }
+
+    /// Returns this protocol with the given composition mode.
+    pub fn with_compose(mut self, compose: ComposeMode) -> Self {
+        self.compose = compose;
+        self
     }
 
     /// Runs the matching protocol: each machine sends the coreset built by
@@ -108,7 +147,18 @@ impl CoordinatorProtocol {
         for c in &coresets {
             communication.record_message(&model, c.m(), 0);
         }
-        let answer = solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto);
+        let answer = match self.compose {
+            ComposeMode::Flat => solve_composed_matching(&coresets, MaximumMatchingAlgorithm::Auto),
+            ComposeMode::Tree { fan_in } => tree_solve_matching(
+                g.n(),
+                coresets,
+                builder,
+                &params,
+                seed,
+                fan_in,
+                MaximumMatchingAlgorithm::Auto,
+            ),
+        };
         Ok(SimultaneousRun {
             answer,
             communication,
@@ -140,11 +190,156 @@ impl CoordinatorProtocol {
         for o in &outputs {
             communication.record_message(&model, o.residual.m(), o.fixed_vertices.len());
         }
-        let answer = compose_vertex_cover(&outputs);
+        let answer = match self.compose {
+            ComposeMode::Flat => compose_vertex_cover(&outputs),
+            ComposeMode::Tree { fan_in } => {
+                tree_compose_vertex_cover(g.n(), outputs, builder, &params, seed, fan_in)
+            }
+        };
         Ok(SimultaneousRun {
             answer,
             communication,
             piece_sizes: partition.piece_sizes(),
+        })
+    }
+}
+
+/// Out-of-core protocol runner: the partition lives in an on-disk
+/// [`ArenaFile`], machine pieces are streamed one at a time through a
+/// [`SegmentLoader`], and composition is hierarchical by default — so peak
+/// memory is one segment plus the live coresets of `log k` levels, never the
+/// full arena (experiment E16's in-binary bound).
+///
+/// The leaf coresets use the same `(seed, machine)` streams and the tree the
+/// same `(seed, level, node)` streams as the in-memory
+/// [`CoordinatorProtocol`] over the same partition, so for an arena written
+/// from that partition the answers are **bit-identical** to the in-memory
+/// run — the file format and the bounded-memory schedule are invisible in
+/// the output (asserted by E16 and `tests/tree_compose.rs`).
+///
+/// Leaves are built sequentially (each needs the loader's single resident
+/// segment); the composition-side solves inside each merge and the final
+/// root solve still ride the work-stealing pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaProtocol {
+    /// How the coordinator composes the received coresets.
+    pub compose: ComposeMode,
+}
+
+impl ArenaProtocol {
+    /// Hierarchical composition with the given fan-in (the mode E16 measures).
+    pub fn tree(fan_in: usize) -> Self {
+        ArenaProtocol {
+            compose: ComposeMode::Tree { fan_in },
+        }
+    }
+
+    /// Flat composition (all coresets resident at once; the arena is still
+    /// streamed one segment at a time).
+    pub fn flat() -> Self {
+        ArenaProtocol {
+            compose: ComposeMode::Flat,
+        }
+    }
+
+    /// Runs the matching protocol from an on-disk arena: stream each
+    /// machine's segment, build its coreset, drop the segment, compose.
+    ///
+    /// `k` and `n` come from the arena header; every coreset buffer alive at
+    /// the coordinator (plus merge scratch) is charged to
+    /// [`graph::metrics::resident_edges`], alongside the loader's segment
+    /// accounting.
+    pub fn run_matching<B: MatchingCoresetBuilder>(
+        &self,
+        arena: &ArenaFile,
+        builder: &B,
+        seed: u64,
+    ) -> Result<SimultaneousRun<Matching>, GraphError> {
+        let n = arena.n();
+        let params = CoresetParams::new(n, arena.k());
+        let model = CostModel::for_n(n);
+        let mut communication = CommunicationCost::default();
+        let fan_in = match self.compose {
+            ComposeMode::Tree { fan_in } => fan_in,
+            // Flat composition is the degenerate tree whose "root set" is all
+            // k coresets: a fan-in wide enough that no merge round fires.
+            ComposeMode::Flat => arena.k().max(2),
+        };
+        let merge = |level: usize, node: usize, group: Vec<Graph>| {
+            let union_edges: usize = group.iter().map(Graph::m).sum();
+            metrics::record_resident_edges_acquired(union_edges);
+            let merged = merge_matching_coresets(n, &params, builder, seed, level, node, &group);
+            metrics::record_resident_edges_released(union_edges);
+            metrics::record_resident_edges_acquired(merged.m());
+            metrics::record_resident_edges_released(union_edges);
+            merged
+        };
+        let mut folder = TreeFolder::new(arena.k(), fan_in, merge);
+        let mut loader = SegmentLoader::new(arena)?;
+        for i in 0..arena.k() {
+            let piece = loader.load(i)?;
+            let coreset = builder.build(piece, &params, i, &mut machine_rng(seed, i));
+            communication.record_message(&model, coreset.m(), 0);
+            metrics::record_resident_edges_acquired(coreset.m());
+            folder.push(coreset);
+        }
+        loader.release();
+        let roots = folder.finish();
+        let root_edges: usize = roots.iter().map(Graph::m).sum();
+        // The final flat solve's compaction scratch is one more union pass.
+        metrics::record_resident_edges_acquired(root_edges);
+        let answer = solve_composed_matching(&roots, MaximumMatchingAlgorithm::Auto);
+        metrics::record_resident_edges_released(2 * root_edges);
+        Ok(SimultaneousRun {
+            answer,
+            communication,
+            piece_sizes: arena.piece_sizes(),
+        })
+    }
+
+    /// Runs the vertex-cover protocol from an on-disk arena (same schedule
+    /// and accounting as [`ArenaProtocol::run_matching`]).
+    pub fn run_vertex_cover<B: VcCoresetBuilder>(
+        &self,
+        arena: &ArenaFile,
+        builder: &B,
+        seed: u64,
+    ) -> Result<SimultaneousRun<VertexCover>, GraphError> {
+        let n = arena.n();
+        let params = CoresetParams::new(n, arena.k());
+        let model = CostModel::for_n(n);
+        let mut communication = CommunicationCost::default();
+        let fan_in = match self.compose {
+            ComposeMode::Tree { fan_in } => fan_in,
+            ComposeMode::Flat => arena.k().max(2),
+        };
+        let merge = |level: usize, node: usize, group: Vec<VcCoresetOutput>| {
+            let union_edges: usize = group.iter().map(|o| o.residual.m()).sum();
+            metrics::record_resident_edges_acquired(union_edges);
+            let merged = merge_vc_coresets(n, &params, builder, seed, level, node, group);
+            metrics::record_resident_edges_released(union_edges);
+            metrics::record_resident_edges_acquired(merged.residual.m());
+            metrics::record_resident_edges_released(union_edges);
+            merged
+        };
+        let mut folder = TreeFolder::new(arena.k(), fan_in, merge);
+        let mut loader = SegmentLoader::new(arena)?;
+        for i in 0..arena.k() {
+            let piece = loader.load(i)?;
+            let output = builder.build(piece, &params, i, &mut machine_rng(seed, i));
+            communication.record_message(&model, output.residual.m(), output.fixed_vertices.len());
+            metrics::record_resident_edges_acquired(output.residual.m());
+            folder.push(output);
+        }
+        loader.release();
+        let roots = folder.finish();
+        let root_edges: usize = roots.iter().map(|o| o.residual.m()).sum();
+        let answer = compose_vertex_cover(&roots);
+        metrics::record_resident_edges_released(root_edges);
+        Ok(SimultaneousRun {
+            answer,
+            communication,
+            piece_sizes: arena.piece_sizes(),
         })
     }
 }
@@ -239,5 +434,138 @@ mod tests {
         assert!(CoordinatorProtocol::random(0)
             .run_matching(&g, &MaximumMatchingCoreset::new(), 0)
             .is_err());
+    }
+
+    #[test]
+    fn tree_mode_runs_are_valid_and_reproducible() {
+        let g = gnp(500, 0.02, &mut rng(6));
+        let p = CoordinatorProtocol::tree(9, 2);
+        let a = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 13)
+            .unwrap();
+        let b = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 13)
+            .unwrap();
+        assert!(a.answer.is_valid_for(&g));
+        assert_eq!(a.answer.edges(), b.answer.edges());
+        // Communication is charged to the leaf messages only: same as flat.
+        let flat = CoordinatorProtocol::random(9)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 13)
+            .unwrap();
+        assert_eq!(a.communication, flat.communication);
+
+        let cover = p
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), 13)
+            .unwrap();
+        assert!(cover.answer.covers(&g));
+    }
+
+    /// Serializes the arena tests: they all touch the process-global
+    /// resident-edge counters, and the peak test needs them quiescent.
+    static ARENA_METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn arena_lock() -> std::sync::MutexGuard<'static, ()> {
+        ARENA_METRICS_LOCK
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Writes `g`'s partition (drawn exactly as `run_matching` draws it) to
+    /// an arena file and returns the open arena plus its path.
+    fn arena_of(
+        g: &Graph,
+        k: usize,
+        seed: u64,
+        tag: &str,
+    ) -> (graph::ArenaFile, std::path::PathBuf) {
+        let mut r = rng(seed);
+        let partition =
+            graph::PartitionedGraph::new(g, k, graph::partition::PartitionStrategy::Random, &mut r)
+                .unwrap();
+        let path =
+            std::env::temp_dir().join(format!("rc_coord_arena_{}_{tag}.bin", std::process::id()));
+        graph::write_arena_file(&path, &partition).unwrap();
+        (ArenaFile::open(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn arena_flat_matching_is_bit_identical_to_in_memory_flat() {
+        let _guard = arena_lock();
+        let g = gnp(400, 0.025, &mut rng(7));
+        let (k, seed) = (6, 21);
+        let mem = CoordinatorProtocol::random(k)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        let (arena, path) = arena_of(&g, k, seed, "flat_match");
+        let ooc = ArenaProtocol::flat()
+            .run_matching(&arena, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(mem.answer.edges(), ooc.answer.edges());
+        assert_eq!(mem.communication, ooc.communication);
+        assert_eq!(mem.piece_sizes, ooc.piece_sizes);
+    }
+
+    #[test]
+    fn arena_tree_matching_is_bit_identical_to_in_memory_tree() {
+        let _guard = arena_lock();
+        let g = gnp(450, 0.02, &mut rng(8));
+        let (k, fan_in, seed) = (9, 2, 33);
+        let mem = CoordinatorProtocol::tree(k, fan_in)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        let (arena, path) = arena_of(&g, k, seed, "tree_match");
+        let ooc = ArenaProtocol::tree(fan_in)
+            .run_matching(&arena, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(mem.answer.edges(), ooc.answer.edges());
+        assert_eq!(mem.communication, ooc.communication);
+    }
+
+    #[test]
+    fn arena_tree_vertex_cover_is_bit_identical_to_in_memory_tree() {
+        let _guard = arena_lock();
+        let g = gnp(500, 0.015, &mut rng(9));
+        let (k, fan_in, seed) = (8, 3, 5);
+        let mem = CoordinatorProtocol::tree(k, fan_in)
+            .run_vertex_cover(&g, &PeelingVcCoreset::new(), seed)
+            .unwrap();
+        let (arena, path) = arena_of(&g, k, seed, "tree_vc");
+        let ooc = ArenaProtocol::tree(fan_in)
+            .run_vertex_cover(&arena, &PeelingVcCoreset::new(), seed)
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert!(mem.answer.covers(&g));
+        assert_eq!(mem.answer, ooc.answer);
+        assert_eq!(mem.communication, ooc.communication);
+    }
+
+    #[test]
+    fn arena_tree_peak_resident_stays_bounded() {
+        let _guard = arena_lock();
+        let g = gnp(600, 0.05, &mut rng(10));
+        let (k, fan_in, seed) = (8, 2, 2);
+        let (arena, path) = arena_of(&g, k, seed, "peak");
+        metrics::reset_peak_resident_edges();
+        let before = metrics::resident_edges();
+        let run = ArenaProtocol::tree(fan_in)
+            .run_matching(&arena, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert!(!run.answer.is_empty());
+        // Everything acquired during the run was released again.
+        assert_eq!(metrics::resident_edges(), before);
+        // Peak stayed below the full arena plus tree overhead — the bound E16
+        // asserts at 10^7-edge scale (levels + 1 live coreset layers of at
+        // most n/2 edges each, one segment, merge scratch).
+        let levels = coresets::TreePlan::new(k, fan_in).levels();
+        let m = arena.m();
+        let bound = (2 * (m / k + fan_in * (g.n() / 2) * (levels + 1))) as u64;
+        assert!(
+            metrics::peak_resident_edges() <= bound,
+            "peak {} above bound {bound}",
+            metrics::peak_resident_edges()
+        );
     }
 }

@@ -31,6 +31,6 @@ pub mod protocols;
 pub mod report;
 
 pub use comm::{CommunicationCost, CostModel};
-pub use coordinator::{CoordinatorProtocol, SimultaneousRun};
+pub use coordinator::{ArenaProtocol, ComposeMode, CoordinatorProtocol, SimultaneousRun};
 pub use mapreduce::{MapReduceConfig, MapReduceOutcome, MapReduceSimulator};
 pub use report::{MatchingProtocolReport, VertexCoverProtocolReport};

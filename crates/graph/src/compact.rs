@@ -89,6 +89,52 @@ impl VertexCompactor {
         }));
     }
 
+    /// Relabels the **concatenation** of `slices` (edge slices over a shared
+    /// vertex set `0..n`) onto its non-isolated vertices, without ever
+    /// materializing the union edge list.
+    ///
+    /// For pairwise edge-disjoint slices — per-machine coresets of a
+    /// partitioned graph always are — the result is identical to calling
+    /// [`VertexCompactor::compact`] on the first-occurrence-preserving union:
+    /// same `n_local`, same relabeled edge sequence. Overlapping slices keep
+    /// every duplicate (this is a relabeling, not a dedup).
+    pub fn compact_concat(&mut self, n: usize, slices: &[&[Edge]]) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.local_of.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+        self.orig_of.clear();
+        for s in slices {
+            for e in *s {
+                for x in [e.u, e.v] {
+                    if self.stamp[x as usize] != self.epoch {
+                        self.stamp[x as usize] = self.epoch;
+                        self.orig_of.push(x);
+                    }
+                }
+            }
+        }
+        self.orig_of.sort_unstable();
+        for (local, &orig) in self.orig_of.iter().enumerate() {
+            self.local_of[orig as usize] = local as u32;
+        }
+        self.edges.clear();
+        for s in slices {
+            self.edges.extend(s.iter().map(|e| {
+                let (u, v) = (self.local_of[e.u as usize], self.local_of[e.v as usize]);
+                debug_assert!(u < v, "monotone relabeling must preserve edge order");
+                Edge { u, v }
+            }));
+        }
+    }
+
     /// Number of vertices in the compacted graph (= non-isolated vertices of
     /// the source).
     #[inline]
@@ -199,6 +245,33 @@ mod tests {
         assert_eq!(c.n_local(), 3);
         assert_eq!(c.local_edges(), &[Edge::new(0, 1), Edge::new(1, 2)]);
         assert_eq!(c.to_local_edge(Edge::new(10, 90)), None);
+    }
+
+    #[test]
+    fn concat_compaction_equals_union_compaction_for_disjoint_slices() {
+        let a = Graph::from_pairs(60, vec![(4, 40), (7, 12)]).unwrap();
+        let b = Graph::from_pairs(60, vec![(12, 40), (2, 55)]).unwrap();
+        let union = Graph::union(&[&a, &b]);
+        let mut by_union = VertexCompactor::new();
+        by_union.compact(&union);
+        let mut by_concat = VertexCompactor::new();
+        by_concat.compact_concat(60, &[a.edges(), b.edges()]);
+        assert_eq!(by_concat.n_local(), by_union.n_local());
+        assert_eq!(by_concat.local_edges(), by_union.local_edges());
+        assert_eq!(
+            by_concat.expand_edges(by_concat.local_edges()),
+            by_union.expand_edges(by_union.local_edges())
+        );
+    }
+
+    #[test]
+    fn concat_compaction_of_empty_slices_is_empty() {
+        let mut c = VertexCompactor::new();
+        c.compact_concat(10, &[&[], &[]]);
+        assert_eq!(c.n_local(), 0);
+        assert!(c.local_edges().is_empty());
+        c.compact_concat(10, &[]);
+        assert_eq!(c.n_local(), 0);
     }
 
     #[test]

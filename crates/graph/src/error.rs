@@ -43,6 +43,41 @@ pub enum GraphError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// An I/O operation on an edge-arena file failed. The underlying
+    /// `std::io::Error` is rendered into `context` so the variant stays
+    /// `Clone + PartialEq + Eq` like the rest of the enum.
+    ArenaIo {
+        /// What was being done, plus the rendered I/O error.
+        context: String,
+    },
+    /// An arena file did not start with the `RCARENA1` magic bytes — it is
+    /// not an edge-arena file at all (or is empty/garbage).
+    ArenaBadMagic {
+        /// The first bytes actually found (zero-padded if the file was
+        /// shorter than the magic).
+        found: [u8; 8],
+    },
+    /// An arena file carries a format version this build does not understand.
+    ArenaBadVersion {
+        /// The version recorded in the file header.
+        found: u32,
+    },
+    /// An arena file is shorter than its own header/segment table says it
+    /// must be — the tail was truncated in transit or on disk.
+    ArenaTruncated {
+        /// The byte length the header implies.
+        expected_bytes: u64,
+        /// The byte length actually present.
+        found_bytes: u64,
+    },
+    /// An arena file's segment table is internally inconsistent (offsets not
+    /// starting at zero, segments not tiling the record section, totals
+    /// disagreeing with the header), or a decoded record violates the graph
+    /// invariants the header promises.
+    ArenaCorrupt {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -75,6 +110,27 @@ impl fmt::Display for GraphError {
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid parameter: {reason}")
             }
+            GraphError::ArenaIo { context } => {
+                write!(f, "arena file I/O error: {context}")
+            }
+            GraphError::ArenaBadMagic { found } => {
+                write!(f, "not an edge-arena file: bad magic {found:?}")
+            }
+            GraphError::ArenaBadVersion { found } => {
+                write!(f, "unsupported arena format version {found}")
+            }
+            GraphError::ArenaTruncated {
+                expected_bytes,
+                found_bytes,
+            } => {
+                write!(
+                    f,
+                    "arena file truncated: header implies {expected_bytes} bytes, found {found_bytes}"
+                )
+            }
+            GraphError::ArenaCorrupt { reason } => {
+                write!(f, "corrupt arena file: {reason}")
+            }
         }
     }
 }
@@ -101,6 +157,31 @@ mod tests {
             reason: "p must be in [0,1]".into(),
         };
         assert!(e.to_string().contains("p must be in [0,1]"));
+
+        let e = GraphError::ArenaIo {
+            context: "opening /tmp/x: not found".into(),
+        };
+        assert!(e.to_string().contains("opening /tmp/x"));
+
+        let e = GraphError::ArenaBadMagic {
+            found: *b"NOTARENA",
+        };
+        assert!(e.to_string().contains("bad magic"));
+
+        let e = GraphError::ArenaBadVersion { found: 9 };
+        assert!(e.to_string().contains('9'));
+
+        let e = GraphError::ArenaTruncated {
+            expected_bytes: 100,
+            found_bytes: 60,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("60"));
+
+        let e = GraphError::ArenaCorrupt {
+            reason: "segment 2 overlaps segment 3".into(),
+        };
+        assert!(e.to_string().contains("segment 2 overlaps"));
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //!   the model of the paper, plus adversarial partitionings used as negative
 //!   controls. [`PartitionedGraph`] stores the partition as a single
 //!   machine-sorted edge arena whose pieces are zero-copy views.
+//! * [`arena_file`] — a versioned binary on-disk format for partitioned edge
+//!   arenas plus [`SegmentLoader`], which streams one machine segment at a
+//!   time so 10⁷–10⁸-edge protocol runs never hold the whole arena resident.
 //! * [`metrics`] — process-wide counters (edges materialized into owned
-//!   per-machine graphs; legacy peeling scratch elements) backing the data-path
-//!   experiment E12 and the vertex-cover hot-path experiment E14.
+//!   per-machine graphs; legacy peeling scratch elements; resident-edge
+//!   high-water accounting for the out-of-core path) backing the data-path
+//!   experiment E12, the vertex-cover hot-path experiment E14, and the
+//!   hierarchical-composition experiment E16.
 //! * [`gen`] — graph generators: Erdős–Rényi, random bipartite, planted
 //!   matchings, stars, power-law (Chung–Lu), and the paper's hard
 //!   distributions `D_Matching` (Section 4.1/5.1) and `D_VC` (Section 4.2/5.3).
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena_file;
 pub mod bipartite;
 pub mod compact;
 pub mod csr;
@@ -47,6 +53,7 @@ pub mod stats;
 pub mod view;
 pub mod weighted;
 
+pub use arena_file::{write_arena_file, ArenaFile, SegmentLoader};
 pub use bipartite::BipartiteGraph;
 pub use compact::VertexCompactor;
 pub use csr::Csr;
@@ -59,6 +66,7 @@ pub use weighted::WeightedGraph;
 
 /// Convenience prelude re-exporting the items needed by most downstream code.
 pub mod prelude {
+    pub use crate::arena_file::{write_arena_file, ArenaFile, SegmentLoader};
     pub use crate::bipartite::BipartiteGraph;
     pub use crate::csr::Csr;
     pub use crate::edge::{Edge, VertexId, WeightedEdge};

@@ -23,10 +23,22 @@
 //! protocol run leaves the counter untouched — experiment E14
 //! (`exp_vc_hotpath`) and the determinism suite assert exactly that.
 
+//!
+//! A third pair of counters backs the out-of-core experiment E16
+//! (`exp_tree_compose`): [`resident_edges`] tracks how many edge records are
+//! currently held in memory by accounted holders (arena segment buffers,
+//! live coresets and merge scratch in the tree-composition runner), and
+//! [`peak_resident_edges`] is its high-water mark. The flat in-memory path
+//! loads the whole arena, so its peak is `m`; the hierarchical out-of-core
+//! path only ever holds one segment plus the live coresets of `log k`
+//! levels, and E16 asserts the measured peak against that bound.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PIECE_EDGES_MATERIALIZED: AtomicU64 = AtomicU64::new(0);
 static VC_PEEL_SCRATCH_WORDS: AtomicU64 = AtomicU64::new(0);
+static RESIDENT_EDGES: AtomicU64 = AtomicU64::new(0);
+static PEAK_RESIDENT_EDGES: AtomicU64 = AtomicU64::new(0);
 
 /// Records that `edges` edges were copied into an owned per-machine graph.
 #[inline]
@@ -73,6 +85,44 @@ pub fn reset_vc_peel_scratch() {
     VC_PEEL_SCRATCH_WORDS.store(0, Ordering::Relaxed);
 }
 
+/// Records that `edges` edge records became resident in an accounted buffer
+/// (an arena segment load, a coreset entering the composition tree, or merge
+/// scratch), and pushes the high-water mark if the new total exceeds it.
+#[inline]
+pub fn record_resident_edges_acquired(edges: usize) {
+    let now = RESIDENT_EDGES.fetch_add(edges as u64, Ordering::Relaxed) + edges as u64;
+    PEAK_RESIDENT_EDGES.fetch_max(now, Ordering::Relaxed);
+}
+
+/// Records that `edges` previously-acquired edge records were dropped.
+/// Saturates at zero so a stray release can never wrap the counter.
+#[inline]
+pub fn record_resident_edges_released(edges: usize) {
+    let _ = RESIDENT_EDGES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        Some(cur.saturating_sub(edges as u64))
+    });
+}
+
+/// Edge records currently resident in accounted buffers (process-wide).
+#[inline]
+pub fn resident_edges() -> u64 {
+    RESIDENT_EDGES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`resident_edges`] since the last
+/// [`reset_peak_resident_edges`] (process-wide).
+#[inline]
+pub fn peak_resident_edges() -> u64 {
+    PEAK_RESIDENT_EDGES.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the *current* resident count (benchmarks
+/// call this between phases; anything still held keeps counting).
+#[inline]
+pub fn reset_peak_resident_edges() {
+    PEAK_RESIDENT_EDGES.store(RESIDENT_EDGES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +145,26 @@ mod tests {
         record_vc_peel_scratch(5);
         record_vc_peel_scratch(4);
         assert!(vc_peel_scratch_elems() >= before + 9);
+    }
+
+    #[test]
+    fn resident_accounting_moves_peak_monotonically() {
+        // Process-wide counters and concurrent tests: assert only relative,
+        // monotone movement from this test's own acquire/release pairs.
+        let peak_before = peak_resident_edges();
+        record_resident_edges_acquired(1000);
+        let peak_mid = peak_resident_edges();
+        assert!(peak_mid >= peak_before + 1000 || peak_mid >= 1000);
+        record_resident_edges_released(1000);
+        // The peak never goes down on release.
+        assert!(peak_resident_edges() >= peak_mid);
+    }
+
+    #[test]
+    fn release_saturates_instead_of_wrapping() {
+        record_resident_edges_released(u64::MAX as usize / 2);
+        // Whatever other tests hold, the counter must not have wrapped into
+        // an astronomically large value.
+        assert!(resident_edges() < u64::MAX / 4);
     }
 }

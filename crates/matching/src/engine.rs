@@ -99,6 +99,30 @@ impl MatchingEngine {
         &self.workspace
     }
 
+    /// Computes a maximum matching of the **concatenation** of `slices`
+    /// (edge slices over the shared vertex set `0..n`), without materializing
+    /// the union edge list — the coordinator's flat-composition fast path.
+    ///
+    /// For pairwise edge-disjoint slices (per-machine coresets of a
+    /// partitioned graph always are) the answer is bit-identical to solving
+    /// the first-occurrence-preserving union `Graph`: compaction sees the
+    /// same edge sequence, so the solver does exactly the same work.
+    /// Overlapping slices still yield a valid maximum matching of the
+    /// underlying simple graph (duplicate edges are matching-neutral).
+    pub fn solve_concat(
+        &mut self,
+        n: usize,
+        slices: &[&[Edge]],
+        warm: Option<&Matching>,
+        algorithm: MaximumMatchingAlgorithm,
+    ) -> Matching {
+        if slices.iter().all(|s| s.is_empty()) {
+            return Matching::new();
+        }
+        self.compactor.compact_concat(n, slices);
+        self.solve_compacted(warm, algorithm)
+    }
+
     fn solve_inner<G: GraphRef + ?Sized>(
         &mut self,
         g: &G,
@@ -111,6 +135,17 @@ impl MatchingEngine {
             return Matching::new();
         }
         self.compactor.compact(g);
+        self.solve_compacted(warm, algorithm)
+    }
+
+    /// The shared solve tail: one CSR from the compactor's relabeled edges,
+    /// warm edges mapped through the same relabeling, fused dispatch, and
+    /// expansion back to original ids.
+    fn solve_compacted(
+        &mut self,
+        warm: Option<&Matching>,
+        algorithm: MaximumMatchingAlgorithm,
+    ) -> Matching {
         let adj = Csr::from_edges(self.compactor.n_local(), self.compactor.local_edges());
         let warm_local: Vec<Edge> = warm
             .map(|m| {
@@ -215,6 +250,39 @@ mod tests {
         assert!(engine.solve(&Graph::empty(5)).is_empty());
         assert!(engine
             .solve_with(&Graph::empty(5), MaximumMatchingAlgorithm::HopcroftKarp)
+            .is_empty());
+    }
+
+    #[test]
+    fn concat_solve_is_bit_identical_to_union_solve_on_disjoint_slices() {
+        // Edge-disjoint slices: a random partition of a graph's edges.
+        use graph::PartitionedGraph;
+        for seed in 0..6 {
+            let g = gnp(200, 0.03, &mut rng(seed + 300));
+            let part = PartitionedGraph::random(&g, 4, &mut rng(seed + 400)).unwrap();
+            let views = part.views();
+            let slices: Vec<&[Edge]> = views.iter().map(|v| v.edges()).collect();
+            let union = part.reunite();
+            for algorithm in [
+                MaximumMatchingAlgorithm::Auto,
+                MaximumMatchingAlgorithm::Blossom,
+            ] {
+                let by_union = MatchingEngine::new().solve_with(&union, algorithm);
+                let by_concat = MatchingEngine::new().solve_concat(g.n(), &slices, None, algorithm);
+                assert_eq!(by_union.edges(), by_concat.edges(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn concat_solve_of_empty_slices_is_empty() {
+        let mut engine = MatchingEngine::new();
+        let empty: &[Edge] = &[];
+        assert!(engine
+            .solve_concat(8, &[empty, empty], None, MaximumMatchingAlgorithm::Auto)
+            .is_empty());
+        assert!(engine
+            .solve_concat(8, &[], None, MaximumMatchingAlgorithm::Auto)
             .is_empty());
     }
 

@@ -66,6 +66,21 @@ pub fn maximum_matching_warm<G: GraphRef + ?Sized>(
     with_thread_engine(|engine| engine.solve_warm(g, warm, algorithm))
 }
 
+/// Computes a maximum matching of the **concatenation** of `slices` (edge
+/// slices over the shared vertex set `0..n`), optionally warm-started,
+/// without materializing the union edge list — the coordinator's
+/// flat-composition fast path (see
+/// [`crate::engine::MatchingEngine::solve_concat`] for the bit-identity
+/// guarantee on edge-disjoint slices).
+pub fn maximum_matching_concat(
+    n: usize,
+    slices: &[&[Edge]],
+    warm: Option<&Matching>,
+    algorithm: MaximumMatchingAlgorithm,
+) -> Matching {
+    with_thread_engine(|engine| engine.solve_concat(n, slices, warm, algorithm))
+}
+
 /// Attempts to 2-colour the graph; returns `Some(color)` (0/1 per vertex) if
 /// bipartite and `None` if an odd cycle exists. Isolated vertices get colour 0.
 ///

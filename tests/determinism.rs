@@ -197,6 +197,47 @@ fn vc_pipeline_fixed_seed_regression_with_engine() {
     );
 }
 
+/// Hierarchical (tree) composition, pinned: for a fixed seed the tree-mode
+/// coordinator's complete matching output is bit-identical at 1 / 4 worker
+/// threads *and* under two forced scheduler-fuzz seeds, and matches the
+/// recorded regression values — the `(seed, level, node)` RNG streams and the
+/// node-ordered merge collection keep the whole `log k`-level merge cascade
+/// schedule-independent.
+#[test]
+fn tree_mode_fixed_seed_regression() {
+    use rayon::sched_fuzz::with_fuzz;
+    let g = workload(1600, 0.01, 16);
+    let run_once = || {
+        let run = CoordinatorProtocol::tree(16, 2)
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 50)
+            .unwrap();
+        run.answer.edges().to_vec()
+    };
+    let reference = with_threads(1, run_once);
+    assert_eq!(
+        with_threads(4, run_once),
+        reference,
+        "1 vs 4 worker threads"
+    );
+    for fuzz in [21u64, 89] {
+        let fuzzed = with_fuzz(Some(fuzz), || with_threads(4, run_once));
+        assert_eq!(fuzzed, reference, "fuzz seed {fuzz}");
+    }
+
+    // Fixed-seed regression: pin the exact tree-composed matching.
+    assert_eq!(reference.len(), 749, "pinned matching size");
+    let fingerprint: u64 = reference.iter().fold(0u64, |acc, e| {
+        acc.wrapping_mul(31)
+            .wrapping_add(e.u as u64)
+            .wrapping_mul(31)
+            .wrapping_add(e.v as u64)
+    });
+    assert_eq!(
+        fingerprint, 0xe276_6ef8_03f8_513b,
+        "pinned matching fingerprint"
+    );
+}
+
 /// Different seeds still change the answer (the determinism above is not the
 /// degenerate "everything collapsed to one stream" kind).
 #[test]
