@@ -105,6 +105,42 @@ impl TreePlan {
         let children = self.widths[level - 1];
         (children - node * self.fan_in).min(self.fan_in)
     }
+
+    /// Simulates a [`TreeFolder`] that has consumed `pushed` leaves and
+    /// returns `(pending lengths per level, emitted nodes per level)` — the
+    /// exact counters the folder would hold. This is the shape contract a
+    /// checkpoint snapshot must satisfy to be resumable, letting callers
+    /// validate an untrusted snapshot before handing it to
+    /// [`TreeFolder::resume`].
+    pub fn state_after(&self, pushed: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(
+            pushed <= self.leaves(),
+            "pushed {pushed} exceeds {} leaves",
+            self.leaves()
+        );
+        let levels = self.levels();
+        let mut pending = vec![0usize; levels + 1];
+        let mut emitted = vec![0usize; levels + 1];
+        for _ in 0..pushed {
+            pending[0] += 1;
+            for level in 1..=levels {
+                loop {
+                    let node = emitted[level];
+                    if node >= self.width(level) {
+                        break;
+                    }
+                    let size = self.group_size(level, node);
+                    if pending[level - 1] < size {
+                        break;
+                    }
+                    pending[level - 1] -= size;
+                    emitted[level] = node + 1;
+                    pending[level] += 1;
+                }
+            }
+        }
+        (pending, emitted)
+    }
 }
 
 /// Reduces `items` through the composition tree level-synchronously: each
@@ -181,6 +217,66 @@ impl<T, F: Fn(usize, usize, Vec<T>) -> T> TreeFolder<T, F> {
     #[inline]
     pub fn plan(&self) -> &TreePlan {
         &self.plan
+    }
+
+    /// Number of leaves pushed so far.
+    #[inline]
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// The folder's live state: `pending()[l]` holds level-`l` items whose
+    /// parent group is incomplete (level 0 = unmerged leaves). Together with
+    /// [`TreeFolder::pushed`] this is a complete snapshot — checkpointing
+    /// serializes these items and [`TreeFolder::resume`] rebuilds the folder.
+    #[inline]
+    pub fn pending(&self) -> &[Vec<T>] {
+        &self.pending
+    }
+
+    /// Rebuilds a folder that has already consumed `pushed` leaves from a
+    /// snapshot of its pending items (as captured from
+    /// [`TreeFolder::pending`]). The emitted-node counters are recomputed
+    /// from the plan, so `(pushed, pending)` fully determines the state and
+    /// resuming then pushing the remaining leaves is bit-identical to an
+    /// uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shape disagrees with
+    /// [`TreePlan::state_after`]`(pushed)` — callers restoring untrusted
+    /// snapshots must validate the lengths first.
+    pub fn resume(
+        leaves: usize,
+        fan_in: usize,
+        merge: F,
+        pushed: usize,
+        pending: Vec<Vec<T>>,
+    ) -> Self {
+        let plan = TreePlan::new(leaves, fan_in);
+        let (lens, emitted) = plan.state_after(pushed);
+        assert_eq!(
+            pending.len(),
+            lens.len(),
+            "snapshot has {} levels, plan expects {}",
+            pending.len(),
+            lens.len()
+        );
+        for (level, (have, want)) in pending.iter().zip(&lens).enumerate() {
+            assert_eq!(
+                have.len(),
+                *want,
+                "snapshot level {level} holds {} items, plan expects {want}",
+                have.len()
+            );
+        }
+        TreeFolder {
+            plan,
+            pending,
+            emitted,
+            pushed,
+            merge,
+        }
     }
 
     /// Pushes the next leaf (leaves must arrive in leaf order) and fires
@@ -388,6 +484,62 @@ mod tests {
                 assert!(by_folder.len() <= fan_in.max(leaves.min(fan_in)));
             }
         }
+    }
+
+    /// Snapshotting after any prefix of pushes and resuming must reproduce
+    /// the uninterrupted folder's output exactly — the contract the
+    /// out-of-core checkpoint/resume path is built on.
+    #[test]
+    fn resume_from_any_push_point_matches_uninterrupted_run() {
+        let merge = |level: usize, node: usize, group: Vec<String>| {
+            format!("m{level}.{node}({})", group.join(","))
+        };
+        for leaves in 1..14usize {
+            for fan_in in 2..4usize {
+                let items: Vec<String> = (0..leaves).map(|i| format!("L{i}")).collect();
+                let mut reference = TreeFolder::new(leaves, fan_in, merge);
+                for item in items.clone() {
+                    reference.push(item);
+                }
+                let expected = reference.finish();
+
+                for kill_after in 0..=leaves {
+                    // Run to the kill point, snapshot, throw the folder away.
+                    let mut first = TreeFolder::new(leaves, fan_in, merge);
+                    for item in items.iter().take(kill_after) {
+                        first.push(item.clone());
+                    }
+                    assert_eq!(first.pushed(), kill_after);
+                    let snapshot: Vec<Vec<String>> = first.pending().to_vec();
+                    let (lens, _) = first.plan().state_after(kill_after);
+                    for (level, p) in snapshot.iter().enumerate() {
+                        assert_eq!(p.len(), lens[level]);
+                    }
+                    drop(first);
+
+                    // Resume and push the remainder.
+                    let mut second =
+                        TreeFolder::resume(leaves, fan_in, merge, kill_after, snapshot);
+                    for item in items.iter().skip(kill_after) {
+                        second.push(item.clone());
+                    }
+                    assert_eq!(
+                        second.finish(),
+                        expected,
+                        "leaves={leaves} fan_in={fan_in} kill_after={kill_after}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "holds")]
+    fn resume_rejects_malformed_snapshot() {
+        let merge = |_: usize, _: usize, group: Vec<String>| group.join(",");
+        // 3 leaves pushed of 5: level 0 should hold 1 pending item, not 2.
+        let bad = vec![vec!["a".to_string(), "b".to_string()], vec![], vec![]];
+        let _ = TreeFolder::resume(5, 2, merge, 3, bad);
     }
 
     fn protocol_coresets(

@@ -40,7 +40,15 @@
 //! `coresets::compose`), so composition answers are also bit-identical at
 //! every thread count.
 
+use crate::checkpoint::{
+    load_checkpoint, save_checkpoint, ArenaCheckpoint, CheckpointItem, CheckpointKey,
+};
 use crate::comm::{CommunicationCost, CostModel};
+use crate::error::ProtocolError;
+use crate::faults::{
+    run_machine_with_faults, DegradedComposition, FaultInjector, FaultPlan, FaultReport,
+    MachineOutcome, RetryPolicy,
+};
 use coresets::matching_coreset::MatchingCoresetBuilder;
 use coresets::streams::{machine_jobs, machine_rng};
 use coresets::tree::{merge_matching_coresets, merge_vc_coresets, TreeFolder};
@@ -49,7 +57,7 @@ use coresets::{
     compose_vertex_cover, solve_composed_matching, tree_compose_vertex_cover, tree_solve_matching,
     CoresetParams,
 };
-use graph::arena_file::{ArenaFile, SegmentLoader};
+use graph::arena_file::{ArenaFile, SegmentLoader, SegmentRetryPolicy};
 use graph::partition::{PartitionStrategy, PartitionedGraph};
 use graph::{metrics, Graph, GraphError};
 use matching::matching::Matching;
@@ -202,6 +210,186 @@ impl CoordinatorProtocol {
             piece_sizes: partition.piece_sizes(),
         })
     }
+
+    /// Runs the matching protocol under a fault plan: machine failures are
+    /// injected deterministically, failed machines are **re-executed by
+    /// replaying** their `machine_rng(seed, i)` stream (so a run in which
+    /// every machine eventually delivers is bit-identical to the fault-free
+    /// run), and machines that exhaust the retry budget fall through to the
+    /// plan's [`DegradedComposition`] policy.
+    pub fn run_matching_faulty<B: MatchingCoresetBuilder>(
+        &self,
+        g: &Graph,
+        builder: &B,
+        seed: u64,
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+    ) -> Result<FaultyRun<Matching>, ProtocolError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partition = PartitionedGraph::new(g, self.k, self.strategy, &mut rng)?;
+        let params = CoresetParams::new(g.n(), self.k);
+        let model = CostModel::for_n(g.n());
+        let injector = FaultInjector::new(plan.clone());
+        let views = partition.views();
+
+        let jobs: Vec<(usize, _)> = views.iter().copied().enumerate().collect();
+        let outcomes: Vec<MachineOutcome<Graph>> = jobs
+            .into_par_iter()
+            .map(|(i, piece)| {
+                run_machine_with_faults(&injector, retry, i, || {
+                    builder.build(piece, &params, i, &mut machine_rng(seed, i))
+                })
+            })
+            .collect();
+
+        let mut report = FaultReport::new(plan.fault_seed);
+        let mut communication = CommunicationCost::default();
+        let mut coresets: Vec<Graph> = Vec::with_capacity(self.k);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            report.absorb(i, &outcome);
+            match outcome.summary {
+                Some(coreset) => {
+                    communication.record_message(&model, coreset.m(), 0);
+                    coresets.push(coreset);
+                }
+                // Empty placeholder: keeps the composition tree's shape and
+                // its (level, node) RNG streams identical to a fault-free
+                // run, while contributing no edges.
+                None => coresets.push(Graph::empty(g.n())),
+            }
+        }
+        self.check_losses(&report, plan)?;
+
+        let solve = |cs: Vec<Graph>| match self.compose {
+            ComposeMode::Flat => solve_composed_matching(&cs, MaximumMatchingAlgorithm::Auto),
+            ComposeMode::Tree { fan_in } => tree_solve_matching(
+                g.n(),
+                cs,
+                builder,
+                &params,
+                seed,
+                fan_in,
+                MaximumMatchingAlgorithm::Auto,
+            ),
+        };
+        // The degraded baseline is cheap to recover in-memory: lost machines
+        // are deterministic replays, so rebuild them and compose everything.
+        let baseline = if report.degraded {
+            let mut full = coresets.clone();
+            for &i in &report.lost_machines {
+                full[i] = builder.build(views[i], &params, i, &mut machine_rng(seed, i));
+            }
+            Some(solve(full).len())
+        } else {
+            None
+        };
+        let answer = solve(coresets);
+        report.achieved_vs_fault_free = Some(match baseline {
+            None | Some(0) => 1.0,
+            Some(b) => answer.len() as f64 / b as f64,
+        });
+        Ok(FaultyRun {
+            run: SimultaneousRun {
+                answer,
+                communication,
+                piece_sizes: partition.piece_sizes(),
+            },
+            faults: report,
+        })
+    }
+
+    /// Runs the vertex-cover protocol under a fault plan (same retry-by-
+    /// replay and degraded-composition semantics as
+    /// [`CoordinatorProtocol::run_matching_faulty`]).
+    pub fn run_vertex_cover_faulty<B: VcCoresetBuilder>(
+        &self,
+        g: &Graph,
+        builder: &B,
+        seed: u64,
+        plan: &FaultPlan,
+        retry: &RetryPolicy,
+    ) -> Result<FaultyRun<VertexCover>, ProtocolError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partition = PartitionedGraph::new(g, self.k, self.strategy, &mut rng)?;
+        let params = CoresetParams::new(g.n(), self.k);
+        let model = CostModel::for_n(g.n());
+        let injector = FaultInjector::new(plan.clone());
+        let views = partition.views();
+
+        let jobs: Vec<(usize, _)> = views.iter().copied().enumerate().collect();
+        let outcomes: Vec<MachineOutcome<VcCoresetOutput>> = jobs
+            .into_par_iter()
+            .map(|(i, piece)| {
+                run_machine_with_faults(&injector, retry, i, || {
+                    builder.build(piece, &params, i, &mut machine_rng(seed, i))
+                })
+            })
+            .collect();
+
+        let mut report = FaultReport::new(plan.fault_seed);
+        let mut communication = CommunicationCost::default();
+        let mut outputs: Vec<VcCoresetOutput> = Vec::with_capacity(self.k);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            report.absorb(i, &outcome);
+            match outcome.summary {
+                Some(output) => {
+                    communication.record_message(
+                        &model,
+                        output.residual.m(),
+                        output.fixed_vertices.len(),
+                    );
+                    outputs.push(output);
+                }
+                None => outputs.push(VcCoresetOutput {
+                    fixed_vertices: Vec::new(),
+                    residual: Graph::empty(g.n()),
+                }),
+            }
+        }
+        self.check_losses(&report, plan)?;
+
+        let solve = |os: Vec<VcCoresetOutput>| match self.compose {
+            ComposeMode::Flat => compose_vertex_cover(&os),
+            ComposeMode::Tree { fan_in } => {
+                tree_compose_vertex_cover(g.n(), os, builder, &params, seed, fan_in)
+            }
+        };
+        let baseline = if report.degraded {
+            let mut full = outputs.clone();
+            for &i in &report.lost_machines {
+                full[i] = builder.build(views[i], &params, i, &mut machine_rng(seed, i));
+            }
+            Some(solve(full).len())
+        } else {
+            None
+        };
+        let answer = solve(outputs);
+        report.achieved_vs_fault_free = Some(match baseline {
+            None | Some(0) => 1.0,
+            Some(b) => answer.len() as f64 / b as f64,
+        });
+        Ok(FaultyRun {
+            run: SimultaneousRun {
+                answer,
+                communication,
+                piece_sizes: partition.piece_sizes(),
+            },
+            faults: report,
+        })
+    }
+
+    /// Applies the plan's loss policy to the run's losses.
+    fn check_losses(&self, report: &FaultReport, plan: &FaultPlan) -> Result<(), ProtocolError> {
+        if report.lost_machines.len() == self.k {
+            return Err(ProtocolError::NoSurvivors);
+        }
+        if report.degraded && plan.on_loss == DegradedComposition::Fail {
+            return Err(ProtocolError::MachinesLost {
+                machines: report.lost_machines.clone(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Out-of-core protocol runner: the partition lives in an on-disk
@@ -254,7 +442,7 @@ impl ArenaProtocol {
         arena: &ArenaFile,
         builder: &B,
         seed: u64,
-    ) -> Result<SimultaneousRun<Matching>, GraphError> {
+    ) -> Result<SimultaneousRun<Matching>, ProtocolError> {
         let n = arena.n();
         let params = CoresetParams::new(n, arena.k());
         let model = CostModel::for_n(n);
@@ -277,7 +465,9 @@ impl ArenaProtocol {
         let mut folder = TreeFolder::new(arena.k(), fan_in, merge);
         let mut loader = SegmentLoader::new(arena)?;
         for i in 0..arena.k() {
-            let piece = loader.load(i)?;
+            let piece = loader
+                .load(i)
+                .map_err(|source| ProtocolError::Segment { machine: i, source })?;
             let coreset = builder.build(piece, &params, i, &mut machine_rng(seed, i));
             communication.record_message(&model, coreset.m(), 0);
             metrics::record_resident_edges_acquired(coreset.m());
@@ -304,7 +494,7 @@ impl ArenaProtocol {
         arena: &ArenaFile,
         builder: &B,
         seed: u64,
-    ) -> Result<SimultaneousRun<VertexCover>, GraphError> {
+    ) -> Result<SimultaneousRun<VertexCover>, ProtocolError> {
         let n = arena.n();
         let params = CoresetParams::new(n, arena.k());
         let model = CostModel::for_n(n);
@@ -325,7 +515,9 @@ impl ArenaProtocol {
         let mut folder = TreeFolder::new(arena.k(), fan_in, merge);
         let mut loader = SegmentLoader::new(arena)?;
         for i in 0..arena.k() {
-            let piece = loader.load(i)?;
+            let piece = loader
+                .load(i)
+                .map_err(|source| ProtocolError::Segment { machine: i, source })?;
             let output = builder.build(piece, &params, i, &mut machine_rng(seed, i));
             communication.record_message(&model, output.residual.m(), output.fixed_vertices.len());
             metrics::record_resident_edges_acquired(output.residual.m());
@@ -342,6 +534,392 @@ impl ArenaProtocol {
             piece_sizes: arena.piece_sizes(),
         })
     }
+
+    /// Runs the matching protocol from an arena under a fault plan, with
+    /// optional checkpoint/resume.
+    ///
+    /// Fault semantics:
+    ///
+    /// * Arena-segment faults (transient I/O, checksum corruption) are
+    ///   injected inside the [`SegmentLoader`] from
+    ///   [`FaultPlan::segment_plan`] and retried up to the machine retry
+    ///   budget; machine-level faults use the same retry-by-replay loop as
+    ///   [`CoordinatorProtocol::run_matching_faulty`].
+    /// * A machine whose segment stays unreadable after the budget — whether
+    ///   the failure was injected or genuine — is **permanently lost** and
+    ///   handled by the plan's [`DegradedComposition`] policy (an *unarmed*
+    ///   plan instead surfaces [`ProtocolError::Segment`], matching
+    ///   [`ArenaProtocol::run_matching`]).
+    /// * With `opts.checkpoint` set, the folder's pending state is persisted
+    ///   after every completed leaf and a rerun resumes after the last one;
+    ///   the checkpoint is deleted once the run completes. A resumed run's
+    ///   answer is bit-identical to an uninterrupted one (`tests/faults.rs`
+    ///   kills at every leaf to pin this).
+    pub fn run_matching_resumable<B: MatchingCoresetBuilder>(
+        &self,
+        arena: &ArenaFile,
+        builder: &B,
+        seed: u64,
+        opts: &FaultRunOptions,
+    ) -> Result<FaultyRun<Matching>, ProtocolError> {
+        let n = arena.n();
+        let k = arena.k();
+        let params = CoresetParams::new(n, k);
+        let model = CostModel::for_n(n);
+        let fan_in = match self.compose {
+            ComposeMode::Tree { fan_in } => fan_in,
+            ComposeMode::Flat => k.max(2),
+        };
+        let injector = FaultInjector::new(opts.plan.clone());
+        let key = CheckpointKey {
+            problem: <Graph as CheckpointItem>::PROBLEM,
+            n: n as u64,
+            k: k as u64,
+            m: arena.m() as u64,
+            seed,
+            fan_in: fan_in as u64,
+            fault_seed: opts.plan.fault_seed,
+        };
+        let merge = |level: usize, node: usize, group: Vec<Graph>| {
+            let union_edges: usize = group.iter().map(Graph::m).sum();
+            metrics::record_resident_edges_acquired(union_edges);
+            let merged = merge_matching_coresets(n, &params, builder, seed, level, node, &group);
+            metrics::record_resident_edges_released(union_edges);
+            metrics::record_resident_edges_acquired(merged.m());
+            metrics::record_resident_edges_released(union_edges);
+            merged
+        };
+
+        let mut communication = CommunicationCost::default();
+        let mut report = FaultReport::new(opts.plan.fault_seed);
+        let resumed = opts
+            .checkpoint
+            .as_deref()
+            .and_then(|p| load_checkpoint::<Graph>(p, &key));
+        let (mut folder, start) = match resumed {
+            Some(ck) => {
+                communication = ck.communication;
+                report.injected = ck.injected;
+                report.retried = ck.retried;
+                report.recovered = ck.recovered;
+                report.ticks = ck.ticks;
+                report.degraded = !ck.lost_machines.is_empty();
+                report.lost_machines = ck.lost_machines;
+                let live: usize = ck.pending.iter().flatten().map(Graph::m).sum();
+                metrics::record_resident_edges_acquired(live);
+                let pushed = ck.pushed;
+                (
+                    TreeFolder::resume(k, fan_in, merge, pushed, ck.pending),
+                    pushed,
+                )
+            }
+            None => (TreeFolder::new(k, fan_in, merge), 0),
+        };
+
+        let mut loader = SegmentLoader::new(arena)?;
+        loader.set_fault_plan(Some(opts.plan.segment_plan()));
+        loader.set_retry_policy(SegmentRetryPolicy {
+            max_attempts: opts.retry.max_attempts.max(1),
+        });
+        let (mut seg_injected, mut seg_retried) = (0u64, 0u64);
+        for i in start..k {
+            let outcome: MachineOutcome<Graph> = match loader.load(i) {
+                Ok(piece) => run_machine_with_faults(&injector, &opts.retry, i, || {
+                    builder.build(piece, &params, i, &mut machine_rng(seed, i))
+                }),
+                Err(source) => {
+                    if !opts.plan.is_armed() {
+                        return Err(ProtocolError::Segment { machine: i, source });
+                    }
+                    MachineOutcome {
+                        summary: None,
+                        injected: 0,
+                        retried: 0,
+                        ticks: 0,
+                    }
+                }
+            };
+            // Fold the loader's per-segment injection/retry deltas into the
+            // run totals; segment retries are charged the flat base backoff
+            // on the simulated tick clock.
+            let d_inj = loader.injected_faults() - seg_injected;
+            let d_ret = loader.retries() - seg_retried;
+            seg_injected += d_inj;
+            seg_retried += d_ret;
+            report.injected += d_inj;
+            report.retried += d_ret;
+            report.ticks = report
+                .ticks
+                .saturating_add(opts.retry.backoff_ticks.saturating_mul(d_ret));
+            if d_inj > 0 && outcome.summary.is_some() && outcome.injected == 0 {
+                // Recovered at the segment layer only; absorb() below would
+                // not see those injections.
+                report.recovered += 1;
+            }
+            report.absorb(i, &outcome);
+            match outcome.summary {
+                Some(coreset) => {
+                    communication.record_message(&model, coreset.m(), 0);
+                    metrics::record_resident_edges_acquired(coreset.m());
+                    folder.push(coreset);
+                }
+                None => folder.push(Graph::empty(n)),
+            }
+            if let Some(path) = opts.checkpoint.as_deref() {
+                save_checkpoint(
+                    path,
+                    &key,
+                    &ArenaCheckpoint {
+                        pushed: folder.pushed(),
+                        pending: folder.pending().to_vec(),
+                        communication: communication.clone(),
+                        injected: report.injected,
+                        retried: report.retried,
+                        recovered: report.recovered,
+                        ticks: report.ticks,
+                        lost_machines: report.lost_machines.clone(),
+                    },
+                )?;
+            }
+            if opts.kill_after_leaves == Some(folder.pushed()) {
+                return Err(ProtocolError::Interrupted {
+                    pushed: folder.pushed(),
+                });
+            }
+        }
+        loader.release();
+        if report.lost_machines.len() == k {
+            return Err(ProtocolError::NoSurvivors);
+        }
+        if report.degraded && opts.plan.on_loss == DegradedComposition::Fail {
+            return Err(ProtocolError::MachinesLost {
+                machines: report.lost_machines.clone(),
+            });
+        }
+        let roots = folder.finish();
+        let root_edges: usize = roots.iter().map(Graph::m).sum();
+        metrics::record_resident_edges_acquired(root_edges);
+        let answer = solve_composed_matching(&roots, MaximumMatchingAlgorithm::Auto);
+        metrics::record_resident_edges_released(2 * root_edges);
+        report.achieved_vs_fault_free = if report.degraded {
+            // The fault-free baseline needs every segment intact; a genuinely
+            // corrupt arena has no computable baseline.
+            self.run_matching(arena, builder, seed)
+                .ok()
+                .map(|clean| match clean.answer.len() {
+                    0 => 1.0,
+                    b => answer.len() as f64 / b as f64,
+                })
+        } else {
+            Some(1.0)
+        };
+        if let Some(path) = opts.checkpoint.as_deref() {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(FaultyRun {
+            run: SimultaneousRun {
+                answer,
+                communication,
+                piece_sizes: arena.piece_sizes(),
+            },
+            faults: report,
+        })
+    }
+
+    /// Runs the vertex-cover protocol from an arena under a fault plan, with
+    /// optional checkpoint/resume (same semantics as
+    /// [`ArenaProtocol::run_matching_resumable`]).
+    pub fn run_vertex_cover_resumable<B: VcCoresetBuilder>(
+        &self,
+        arena: &ArenaFile,
+        builder: &B,
+        seed: u64,
+        opts: &FaultRunOptions,
+    ) -> Result<FaultyRun<VertexCover>, ProtocolError> {
+        let n = arena.n();
+        let k = arena.k();
+        let params = CoresetParams::new(n, k);
+        let model = CostModel::for_n(n);
+        let fan_in = match self.compose {
+            ComposeMode::Tree { fan_in } => fan_in,
+            ComposeMode::Flat => k.max(2),
+        };
+        let injector = FaultInjector::new(opts.plan.clone());
+        let key = CheckpointKey {
+            problem: <VcCoresetOutput as CheckpointItem>::PROBLEM,
+            n: n as u64,
+            k: k as u64,
+            m: arena.m() as u64,
+            seed,
+            fan_in: fan_in as u64,
+            fault_seed: opts.plan.fault_seed,
+        };
+        let merge = |level: usize, node: usize, group: Vec<VcCoresetOutput>| {
+            let union_edges: usize = group.iter().map(|o| o.residual.m()).sum();
+            metrics::record_resident_edges_acquired(union_edges);
+            let merged = merge_vc_coresets(n, &params, builder, seed, level, node, group);
+            metrics::record_resident_edges_released(union_edges);
+            metrics::record_resident_edges_acquired(merged.residual.m());
+            metrics::record_resident_edges_released(union_edges);
+            merged
+        };
+
+        let mut communication = CommunicationCost::default();
+        let mut report = FaultReport::new(opts.plan.fault_seed);
+        let resumed = opts
+            .checkpoint
+            .as_deref()
+            .and_then(|p| load_checkpoint::<VcCoresetOutput>(p, &key));
+        let (mut folder, start) = match resumed {
+            Some(ck) => {
+                communication = ck.communication;
+                report.injected = ck.injected;
+                report.retried = ck.retried;
+                report.recovered = ck.recovered;
+                report.ticks = ck.ticks;
+                report.degraded = !ck.lost_machines.is_empty();
+                report.lost_machines = ck.lost_machines;
+                let live: usize = ck.pending.iter().flatten().map(|o| o.residual.m()).sum();
+                metrics::record_resident_edges_acquired(live);
+                let pushed = ck.pushed;
+                (
+                    TreeFolder::resume(k, fan_in, merge, pushed, ck.pending),
+                    pushed,
+                )
+            }
+            None => (TreeFolder::new(k, fan_in, merge), 0),
+        };
+
+        let mut loader = SegmentLoader::new(arena)?;
+        loader.set_fault_plan(Some(opts.plan.segment_plan()));
+        loader.set_retry_policy(SegmentRetryPolicy {
+            max_attempts: opts.retry.max_attempts.max(1),
+        });
+        let (mut seg_injected, mut seg_retried) = (0u64, 0u64);
+        for i in start..k {
+            let outcome: MachineOutcome<VcCoresetOutput> = match loader.load(i) {
+                Ok(piece) => run_machine_with_faults(&injector, &opts.retry, i, || {
+                    builder.build(piece, &params, i, &mut machine_rng(seed, i))
+                }),
+                Err(source) => {
+                    if !opts.plan.is_armed() {
+                        return Err(ProtocolError::Segment { machine: i, source });
+                    }
+                    MachineOutcome {
+                        summary: None,
+                        injected: 0,
+                        retried: 0,
+                        ticks: 0,
+                    }
+                }
+            };
+            // Fold the loader's per-segment injection/retry deltas into the
+            // run totals; segment retries are charged the flat base backoff
+            // on the simulated tick clock.
+            let d_inj = loader.injected_faults() - seg_injected;
+            let d_ret = loader.retries() - seg_retried;
+            seg_injected += d_inj;
+            seg_retried += d_ret;
+            report.injected += d_inj;
+            report.retried += d_ret;
+            report.ticks = report
+                .ticks
+                .saturating_add(opts.retry.backoff_ticks.saturating_mul(d_ret));
+            if d_inj > 0 && outcome.summary.is_some() && outcome.injected == 0 {
+                // Recovered at the segment layer only; absorb() below would
+                // not see those injections.
+                report.recovered += 1;
+            }
+            report.absorb(i, &outcome);
+            match outcome.summary {
+                Some(output) => {
+                    communication.record_message(
+                        &model,
+                        output.residual.m(),
+                        output.fixed_vertices.len(),
+                    );
+                    metrics::record_resident_edges_acquired(output.residual.m());
+                    folder.push(output);
+                }
+                None => folder.push(VcCoresetOutput {
+                    fixed_vertices: Vec::new(),
+                    residual: Graph::empty(n),
+                }),
+            }
+            if let Some(path) = opts.checkpoint.as_deref() {
+                save_checkpoint(
+                    path,
+                    &key,
+                    &ArenaCheckpoint {
+                        pushed: folder.pushed(),
+                        pending: folder.pending().to_vec(),
+                        communication: communication.clone(),
+                        injected: report.injected,
+                        retried: report.retried,
+                        recovered: report.recovered,
+                        ticks: report.ticks,
+                        lost_machines: report.lost_machines.clone(),
+                    },
+                )?;
+            }
+            if opts.kill_after_leaves == Some(folder.pushed()) {
+                return Err(ProtocolError::Interrupted {
+                    pushed: folder.pushed(),
+                });
+            }
+        }
+        loader.release();
+        if report.lost_machines.len() == k {
+            return Err(ProtocolError::NoSurvivors);
+        }
+        if report.degraded && opts.plan.on_loss == DegradedComposition::Fail {
+            return Err(ProtocolError::MachinesLost {
+                machines: report.lost_machines.clone(),
+            });
+        }
+        let roots = folder.finish();
+        let root_edges: usize = roots.iter().map(|o| o.residual.m()).sum();
+        let answer = compose_vertex_cover(&roots);
+        metrics::record_resident_edges_released(root_edges);
+        report.achieved_vs_fault_free = if report.degraded {
+            self.run_vertex_cover(arena, builder, seed)
+                .ok()
+                .map(|clean| match clean.answer.len() {
+                    0 => 1.0,
+                    b => answer.len() as f64 / b as f64,
+                })
+        } else {
+            Some(1.0)
+        };
+        if let Some(path) = opts.checkpoint.as_deref() {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(FaultyRun {
+            run: SimultaneousRun {
+                answer,
+                communication,
+                piece_sizes: arena.piece_sizes(),
+            },
+            faults: report,
+        })
+    }
+}
+
+/// Options of a fault-injected, optionally resumable arena run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultRunOptions {
+    /// Which faults to inject (a defaulted plan injects nothing).
+    pub plan: FaultPlan,
+    /// Retry budget and backoff schedule shared by machine replays and
+    /// segment re-reads.
+    pub retry: RetryPolicy,
+    /// Where to persist the resume checkpoint; `None` disables
+    /// checkpointing.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Test knob: abort with [`ProtocolError::Interrupted`] once this many
+    /// leaves completed (after the checkpoint for that leaf is saved), so
+    /// crash-recovery tests can kill a run at every possible point.
+    pub kill_after_leaves: Option<usize>,
 }
 
 /// The result of one simultaneous-protocol run.
@@ -353,6 +931,15 @@ pub struct SimultaneousRun<T> {
     pub communication: CommunicationCost,
     /// Number of edges each machine received (the input partition sizes).
     pub piece_sizes: Vec<usize>,
+}
+
+/// A [`SimultaneousRun`] plus the fault accounting of how it got there.
+#[derive(Debug, Clone)]
+pub struct FaultyRun<T> {
+    /// The protocol outcome (answer, communication, piece sizes).
+    pub run: SimultaneousRun<T>,
+    /// What was injected, retried, recovered, and lost along the way.
+    pub faults: FaultReport,
 }
 
 #[cfg(test)]
@@ -566,6 +1153,273 @@ mod tests {
             metrics::peak_resident_edges() <= bound,
             "peak {} above bound {bound}",
             metrics::peak_resident_edges()
+        );
+    }
+
+    #[test]
+    fn unarmed_faulty_run_matches_fault_free_run() {
+        let g = gnp(300, 0.03, &mut rng(11));
+        let p = CoordinatorProtocol::random(5);
+        let clean = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 17)
+            .unwrap();
+        let faulty = p
+            .run_matching_faulty(
+                &g,
+                &MaximumMatchingCoreset::new(),
+                17,
+                &FaultPlan::new(99),
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(clean.answer.edges(), faulty.run.answer.edges());
+        assert_eq!(clean.communication, faulty.run.communication);
+        assert_eq!(faulty.faults.injected, 0);
+        assert_eq!(faulty.faults.retried, 0);
+        assert_eq!(faulty.faults.lost_machines, Vec::<usize>::new());
+        assert!(!faulty.faults.degraded);
+        assert_eq!(faulty.faults.achieved_vs_fault_free, Some(1.0));
+    }
+
+    #[test]
+    fn recovered_faulty_run_is_bit_identical_to_fault_free_run() {
+        let g = gnp(350, 0.025, &mut rng(12));
+        let p = CoordinatorProtocol::random(6);
+        let clean = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 23)
+            .unwrap();
+        let plan = FaultPlan::machine_failure(4242, 0.2);
+        let faulty = p
+            .run_matching_faulty(
+                &g,
+                &MaximumMatchingCoreset::new(),
+                23,
+                &plan,
+                &RetryPolicy::attempts(12),
+            )
+            .unwrap();
+        assert!(
+            !faulty.faults.degraded,
+            "retry budget should recover every machine at this seed"
+        );
+        assert!(faulty.faults.injected > 0, "this seed must inject faults");
+        assert!(faulty.faults.retried > 0);
+        // Retry replays the same machine_rng stream: recovery is invisible in
+        // the output.
+        assert_eq!(clean.answer.edges(), faulty.run.answer.edges());
+        assert_eq!(clean.communication, faulty.run.communication);
+        assert_eq!(faulty.faults.achieved_vs_fault_free, Some(1.0));
+    }
+
+    #[test]
+    fn stragglers_only_cost_simulated_ticks() {
+        let g = gnp(200, 0.04, &mut rng(13));
+        let k = 4;
+        let mut plan = FaultPlan::new(5);
+        plan.straggler_prob = 1.0;
+        plan.straggler_ticks = 7;
+        let p = CoordinatorProtocol::random(k);
+        let clean = p
+            .run_matching(&g, &MaximumMatchingCoreset::new(), 3)
+            .unwrap();
+        let faulty = p
+            .run_matching_faulty(
+                &g,
+                &MaximumMatchingCoreset::new(),
+                3,
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+        // Every machine straggles exactly once, still delivers, and the
+        // answer is untouched — only the tick clock moves.
+        assert_eq!(faulty.faults.injected, k as u64);
+        assert_eq!(faulty.faults.recovered, k as u64);
+        assert_eq!(faulty.faults.ticks, 7 * k as u64);
+        assert!(!faulty.faults.degraded);
+        assert_eq!(clean.answer.edges(), faulty.run.answer.edges());
+    }
+
+    #[test]
+    fn forced_machine_loss_degrades_but_stays_valid() {
+        let g = gnp(400, 0.02, &mut rng(14));
+        let p = CoordinatorProtocol::random(6);
+        let plan = FaultPlan::new(1).losing(vec![2]);
+        let faulty = p
+            .run_matching_faulty(
+                &g,
+                &MaximumMatchingCoreset::new(),
+                9,
+                &plan,
+                &RetryPolicy::attempts(8),
+            )
+            .unwrap();
+        assert!(faulty.faults.degraded);
+        assert_eq!(faulty.faults.lost_machines, vec![2]);
+        assert!(faulty.run.answer.is_valid_for(&g));
+        let ratio = faulty.faults.achieved_vs_fault_free.unwrap();
+        assert!(ratio > 0.0 && ratio <= 1.0 + 1e-9, "ratio {ratio}");
+        // Communication only counts survivors' messages.
+        assert_eq!(faulty.run.communication.message_count(), 5);
+    }
+
+    #[test]
+    fn degraded_vertex_cover_covers_the_surviving_edges() {
+        let g = gnp(400, 0.02, &mut rng(15));
+        let (k, seed) = (5, 31);
+        let plan = FaultPlan::new(2).losing(vec![0]);
+        let faulty = CoordinatorProtocol::random(k)
+            .run_vertex_cover_faulty(
+                &g,
+                &PeelingVcCoreset::new(),
+                seed,
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+        assert!(faulty.faults.degraded);
+        // The degraded cover must still cover every edge a surviving machine
+        // held (the lost machine's edges are unknowable to the coordinator).
+        let mut r = rng(seed);
+        let partition = graph::PartitionedGraph::new(
+            &g,
+            k,
+            graph::partition::PartitionStrategy::Random,
+            &mut r,
+        )
+        .unwrap();
+        for (i, piece) in partition.views().iter().enumerate() {
+            if faulty.faults.lost_machines.contains(&i) {
+                continue;
+            }
+            for e in piece.edges() {
+                assert!(
+                    faulty.run.answer.contains(e.u) || faulty.run.answer.contains(e.v),
+                    "surviving edge ({}, {}) uncovered",
+                    e.u,
+                    e.v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_policy_fail_and_total_loss_are_typed_errors() {
+        let g = gnp(120, 0.05, &mut rng(16));
+        let p = CoordinatorProtocol::random(3);
+        let mut plan = FaultPlan::new(3).losing(vec![1]);
+        plan.on_loss = DegradedComposition::Fail;
+        let err = p
+            .run_matching_faulty(
+                &g,
+                &MaximumMatchingCoreset::new(),
+                1,
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::MachinesLost { machines: vec![1] });
+
+        let all = FaultPlan::new(3).losing(vec![0, 1, 2]);
+        let err = p
+            .run_vertex_cover_faulty(
+                &g,
+                &PeelingVcCoreset::new(),
+                1,
+                &all,
+                &RetryPolicy::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::NoSurvivors);
+    }
+
+    #[test]
+    fn resumable_run_without_faults_matches_plain_arena_run() {
+        let _guard = arena_lock();
+        let g = gnp(380, 0.02, &mut rng(17));
+        let (k, fan_in, seed) = (6, 2, 41);
+        let (arena, path) = arena_of(&g, k, seed, "resume_clean");
+        let plain = ArenaProtocol::tree(fan_in)
+            .run_matching(&arena, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        let faulty = ArenaProtocol::tree(fan_in)
+            .run_matching_resumable(
+                &arena,
+                &MaximumMatchingCoreset::new(),
+                seed,
+                &FaultRunOptions::default(),
+            )
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(plain.answer.edges(), faulty.run.answer.edges());
+        assert_eq!(plain.communication, faulty.run.communication);
+        assert_eq!(faulty.faults.injected, 0);
+        assert_eq!(faulty.faults.achieved_vs_fault_free, Some(1.0));
+    }
+
+    #[test]
+    fn segment_faults_are_retried_transparently() {
+        let _guard = arena_lock();
+        let g = gnp(300, 0.025, &mut rng(18));
+        let (k, fan_in, seed) = (5, 2, 47);
+        let (arena, path) = arena_of(&g, k, seed, "seg_retry");
+        let plain = ArenaProtocol::tree(fan_in)
+            .run_matching(&arena, &MaximumMatchingCoreset::new(), seed)
+            .unwrap();
+        let mut plan = FaultPlan::new(77);
+        plan.segment_io_prob = 0.5;
+        let opts = FaultRunOptions {
+            plan,
+            retry: RetryPolicy {
+                max_attempts: 16,
+                backoff_ticks: 3,
+            },
+            ..FaultRunOptions::default()
+        };
+        let faulty = ArenaProtocol::tree(fan_in)
+            .run_matching_resumable(&arena, &MaximumMatchingCoreset::new(), seed, &opts)
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert!(faulty.faults.injected > 0, "this seed must inject faults");
+        assert_eq!(faulty.faults.retried, faulty.faults.injected);
+        assert_eq!(faulty.faults.ticks, 3 * faulty.faults.retried);
+        assert!(!faulty.faults.degraded);
+        assert_eq!(plain.answer.edges(), faulty.run.answer.edges());
+        assert_eq!(plain.communication, faulty.run.communication);
+    }
+
+    #[test]
+    fn killed_run_resumes_to_the_identical_answer() {
+        let _guard = arena_lock();
+        let g = gnp(350, 0.02, &mut rng(19));
+        let (k, fan_in, seed) = (6, 2, 53);
+        let (arena, path) = arena_of(&g, k, seed, "kill_resume");
+        let ckpt =
+            std::env::temp_dir().join(format!("rc_coord_ckpt_{}_kill.bin", std::process::id()));
+        let _ = std::fs::remove_file(&ckpt);
+        let uninterrupted = ArenaProtocol::tree(fan_in)
+            .run_vertex_cover(&arena, &PeelingVcCoreset::new(), seed)
+            .unwrap();
+        let mut opts = FaultRunOptions {
+            checkpoint: Some(ckpt.clone()),
+            kill_after_leaves: Some(3),
+            ..FaultRunOptions::default()
+        };
+        let err = ArenaProtocol::tree(fan_in)
+            .run_vertex_cover_resumable(&arena, &PeelingVcCoreset::new(), seed, &opts)
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::Interrupted { pushed: 3 });
+        assert!(ckpt.exists(), "kill must leave a checkpoint behind");
+        opts.kill_after_leaves = None;
+        let resumed = ArenaProtocol::tree(fan_in)
+            .run_vertex_cover_resumable(&arena, &PeelingVcCoreset::new(), seed, &opts)
+            .unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(uninterrupted.answer, resumed.run.answer);
+        assert_eq!(uninterrupted.communication, resumed.run.communication);
+        assert!(
+            !ckpt.exists(),
+            "completed run must remove its checkpoint file"
         );
     }
 }

@@ -20,17 +20,31 @@
 //!   (the prior state of the art the paper compares rounds against).
 //! * [`report`] — serde-serialisable run reports consumed by the experiment
 //!   binaries in the `bench` crate.
+//! * [`faults`], [`checkpoint`], [`error`] — the fault-tolerant runtime:
+//!   deterministic fault injection keyed by `(fault_seed, site)`, retry by
+//!   replaying per-machine RNG streams, degraded composition over survivors,
+//!   and checksummed checkpoint/resume for out-of-core runs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod comm;
 pub mod coordinator;
+pub mod error;
+pub mod faults;
 pub mod mapreduce;
 pub mod protocols;
 pub mod report;
 
+pub use checkpoint::{ArenaCheckpoint, CheckpointItem, CheckpointKey};
 pub use comm::{CommunicationCost, CostModel};
-pub use coordinator::{ArenaProtocol, ComposeMode, CoordinatorProtocol, SimultaneousRun};
+pub use coordinator::{
+    ArenaProtocol, ComposeMode, CoordinatorProtocol, FaultRunOptions, FaultyRun, SimultaneousRun,
+};
+pub use error::ProtocolError;
+pub use faults::{
+    DegradedComposition, FaultInjector, FaultPlan, FaultReport, MachineFault, RetryPolicy,
+};
 pub use mapreduce::{MapReduceConfig, MapReduceOutcome, MapReduceSimulator};
 pub use report::{MatchingProtocolReport, VertexCoverProtocolReport};

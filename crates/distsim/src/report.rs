@@ -2,6 +2,7 @@
 //! binaries and recorded in `EXPERIMENTS.md`.
 
 use crate::comm::CommunicationCost;
+use crate::faults::FaultReport;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one matching protocol run.
@@ -25,6 +26,9 @@ pub struct MatchingProtocolReport {
     pub approximation_ratio: f64,
     /// Communication accounting for the run.
     pub communication: CommunicationCost,
+    /// Fault accounting when the run executed under a fault plan
+    /// (`null`/`None` for fault-free runs).
+    pub faults: Option<FaultReport>,
 }
 
 impl MatchingProtocolReport {
@@ -65,6 +69,9 @@ pub struct VertexCoverProtocolReport {
     pub approximation_ratio: f64,
     /// Communication accounting for the run.
     pub communication: CommunicationCost,
+    /// Fault accounting when the run executed under a fault plan
+    /// (`null`/`None` for fault-free runs).
+    pub faults: Option<FaultReport>,
 }
 
 impl VertexCoverProtocolReport {
@@ -111,6 +118,7 @@ mod tests {
             reference_matching_size: 50,
             approximation_ratio: 50.0 / 45.0,
             communication: CommunicationCost::default(),
+            faults: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("maximum-matching"));
@@ -131,6 +139,7 @@ mod tests {
             reference_matching_size: 50,
             approximation_ratio: 50.0 / 45.0,
             communication,
+            faults: Some(FaultReport::new(9)),
         };
         let json = serde_json::to_string(&report).unwrap();
         let back: MatchingProtocolReport = serde_json::from_str(&json).unwrap();
@@ -142,6 +151,7 @@ mod tests {
         assert_eq!(back.reference_matching_size, report.reference_matching_size);
         assert_eq!(back.approximation_ratio, report.approximation_ratio);
         assert_eq!(back.communication, report.communication);
+        assert_eq!(back.faults, report.faults);
     }
 
     #[test]
@@ -160,6 +170,7 @@ mod tests {
             reference_cover_size: 4096,
             approximation_ratio: 9000.0 / 4096.0,
             communication,
+            faults: None,
         };
         let pretty = serde_json::to_string_pretty(&report).unwrap();
         assert!(pretty.contains('\n'), "pretty output should be multi-line");

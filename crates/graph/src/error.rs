@@ -78,6 +78,19 @@ pub enum GraphError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A version-2 arena segment's decoded bytes do not hash to the CRC32
+    /// recorded in the file's checksum table — the segment was corrupted on
+    /// disk or in transit. Without the checksum this would have been
+    /// silently-wrong edges; with it, the error is typed and carries the
+    /// segment (machine) index so the protocol layer can retry or degrade.
+    ArenaChecksumMismatch {
+        /// The segment (machine index) whose bytes failed verification.
+        segment: usize,
+        /// The CRC32 recorded in the file's checksum table.
+        expected: u32,
+        /// The CRC32 actually computed over the segment's record bytes.
+        found: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -131,6 +144,17 @@ impl fmt::Display for GraphError {
             GraphError::ArenaCorrupt { reason } => {
                 write!(f, "corrupt arena file: {reason}")
             }
+            GraphError::ArenaChecksumMismatch {
+                segment,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "arena segment {segment} failed checksum verification: \
+                     recorded crc32 {expected:#010x}, computed {found:#010x}"
+                )
+            }
         }
     }
 }
@@ -182,6 +206,15 @@ mod tests {
             reason: "segment 2 overlaps segment 3".into(),
         };
         assert!(e.to_string().contains("segment 2 overlaps"));
+
+        let e = GraphError::ArenaChecksumMismatch {
+            segment: 4,
+            expected: 0xDEAD_BEEF,
+            found: 0x0BAD_F00D,
+        };
+        assert!(e.to_string().contains("segment 4"));
+        assert!(e.to_string().contains("0xdeadbeef"));
+        assert!(e.to_string().contains("0x0badf00d"));
     }
 
     #[test]

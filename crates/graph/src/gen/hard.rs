@@ -200,9 +200,11 @@ pub fn d_vc<R: Rng + ?Sized>(
         }
     }
 
-    let v_star = *rest
-        .choose(rng)
-        .expect("L \\ A is non-empty because block < n");
+    let Some(&v_star) = rest.choose(rng) else {
+        return Err(GraphError::InvalidParameter {
+            reason: "D_VC requires block < n so that L \\ A is non-empty".into(),
+        });
+    };
     let r_star = rng.gen_range(0..n as VertexId);
     let e_star = (v_star, r_star);
     edges.push(e_star);

@@ -67,7 +67,7 @@ pub fn chung_lu<R: Rng + ?Sized>(n: usize, gamma: f64, avg_degree: f64, rng: &mu
     }
     let sample_vertex = |rng: &mut R, cumulative: &[f64], acc: f64| -> u32 {
         let x = rng.gen_range(0.0..acc);
-        match cumulative.binary_search_by(|probe| probe.partial_cmp(&x).expect("finite")) {
+        match cumulative.binary_search_by(|probe| probe.total_cmp(&x)) {
             Ok(i) | Err(i) => i.min(cumulative.len() - 1) as u32,
         }
     };

@@ -53,7 +53,10 @@ pub mod stats;
 pub mod view;
 pub mod weighted;
 
-pub use arena_file::{write_arena_file, ArenaFile, SegmentLoader};
+pub use arena_file::{
+    write_arena_file, write_arena_file_v1, ArenaFile, SegmentFault, SegmentFaultPlan,
+    SegmentLoader, SegmentRetryPolicy,
+};
 pub use bipartite::BipartiteGraph;
 pub use compact::VertexCompactor;
 pub use csr::Csr;
@@ -66,7 +69,10 @@ pub use weighted::WeightedGraph;
 
 /// Convenience prelude re-exporting the items needed by most downstream code.
 pub mod prelude {
-    pub use crate::arena_file::{write_arena_file, ArenaFile, SegmentLoader};
+    pub use crate::arena_file::{
+        write_arena_file, write_arena_file_v1, ArenaFile, SegmentFault, SegmentFaultPlan,
+        SegmentLoader, SegmentRetryPolicy,
+    };
     pub use crate::bipartite::BipartiteGraph;
     pub use crate::csr::Csr;
     pub use crate::edge::{Edge, VertexId, WeightedEdge};

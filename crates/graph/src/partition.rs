@@ -335,13 +335,12 @@ pub fn partition_weighted<R: Rng + ?Sized>(
     for (idx, &machine) in assignment.iter().enumerate() {
         buckets[machine].push(g.edges()[idx]);
     }
-    Ok(buckets
+    buckets
         .into_iter()
         .map(|edges| {
             WeightedGraph::from_triples(g.n(), edges.iter().map(|e| (e.edge.u, e.edge.v, e.weight)))
-                .expect("edges already validated by the source graph")
         })
-        .collect())
+        .collect()
 }
 
 fn canonical_sort_key(g: &Graph, i: usize) -> u64 {

@@ -136,7 +136,7 @@ impl WeightedGraph {
                 )
             })
             .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite class bounds"));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
 

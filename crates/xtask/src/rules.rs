@@ -12,10 +12,12 @@
 //! | `env-threads` | everywhere walked | only `vendor/rayon` may read `RC_THREADS` / `RAYON_NUM_THREADS` — one resolution point keeps thread-count semantics single-sourced |
 //! | `hot-path-alloc` | functions in `hotpaths.toml` | no `vec![` / `Vec::new` / `.to_vec()` / `.clone()` / `collect::<Vec` in engine inner loops |
 //! | `missing-docs` | `graph` / `coresets` / `distsim` | every `pub fn` carries a doc comment |
+//! | `error-hygiene` | `graph` / `distsim` | no `.unwrap()` / `.expect(` / `panic!` in library code — fallible paths surface typed `GraphError`/protocol errors so the fault-tolerant runtime can retry or degrade instead of aborting |
 //!
 //! Test code (`#[cfg(test)]` modules, `tests/` directories) is exempt from
-//! `hash-collections`, `hot-path-alloc` and `missing-docs`: iteration order
-//! in a test can't reach a protocol output, and tests allocate freely. The
+//! `hash-collections`, `hot-path-alloc`, `missing-docs` and `error-hygiene`:
+//! iteration order in a test can't reach a protocol output, tests allocate
+//! freely, and asserting via unwrap/panic is what tests are for. The
 //! nondeterminism and env rules apply to tests too — a test that consults
 //! wall-clock or re-reads `RC_THREADS` is exactly as suspect as library code
 //! that does.
@@ -58,6 +60,8 @@ pub struct FileScope {
     pub no_ambient_entropy: bool,
     /// `missing-docs` applies (`graph` / `coresets` / `distsim` source).
     pub doc_coverage: bool,
+    /// `error-hygiene` applies (`graph` / `distsim` source).
+    pub error_hygiene: bool,
     /// The file sits under a `tests/` directory (integration tests).
     pub test_file: bool,
 }
@@ -76,10 +80,12 @@ pub fn classify(rel_path: &str) -> FileScope {
         && ["graph", "coresets", "distsim"]
             .iter()
             .any(|k| in_crate_src(k));
+    let error_hygiene = !test_file && ["graph", "distsim"].iter().any(|k| in_crate_src(k));
     FileScope {
         protocol,
         no_ambient_entropy,
         doc_coverage,
+        error_hygiene,
         test_file,
     }
 }
@@ -213,6 +219,43 @@ pub fn lint_tokens(rel_path: &str, lexed: &LexedFile, hotpaths: &HotPathConfig) 
                     "hot-path-alloc",
                     1,
                     format!("hotpaths.toml lists fn `{f}` but {rel_path} has no such function"),
+                );
+            }
+        }
+    }
+
+    // --- error-hygiene ----------------------------------------------------
+    if scope.error_hygiene {
+        for (i, t) in toks.iter().enumerate() {
+            if in_test(i) {
+                continue;
+            }
+            let hit = if t.is_punct('.')
+                && matches!(toks.get(i + 1), Some(n) if n.is_ident("unwrap"))
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct('('))
+            {
+                Some((".unwrap()", toks[i + 1].line))
+            } else if t.is_punct('.')
+                && matches!(toks.get(i + 1), Some(n) if n.is_ident("expect"))
+                && matches!(toks.get(i + 2), Some(p) if p.is_punct('('))
+            {
+                Some((".expect(", toks[i + 1].line))
+            } else if t.is_ident("panic") && matches!(toks.get(i + 1), Some(p) if p.is_punct('!')) {
+                Some(("panic!", t.line))
+            } else {
+                None
+            };
+            if let Some((what, line)) = hit {
+                push(
+                    lexed,
+                    "error-hygiene",
+                    line,
+                    format!(
+                        "`{what}` in graph/distsim library code: fallible paths must \
+                         surface typed errors so the fault-tolerant runtime can retry \
+                         or degrade; justify a documented invariant with \
+                         `// xtask: allow(error-hygiene)`"
+                    ),
                 );
             }
         }
@@ -494,6 +537,29 @@ mod tests {
         );
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("no such function"));
+    }
+
+    #[test]
+    fn error_hygiene_flags_unwrap_expect_panic_outside_tests() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); z.unwrap_or(0); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { a.unwrap(); panic!(); } }\n";
+        let diags = lint("crates/graph/src/x.rs", src);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "error-hygiene"));
+        assert!(diags.iter().all(|d| d.line == 1));
+        // Only graph/distsim sources are in scope.
+        assert!(lint("crates/distsim/src/x.rs", "fn f() { x.unwrap(); }\n").len() == 1);
+        assert!(lint("crates/coresets/src/x.rs", src).is_empty());
+        assert!(lint("crates/matching/src/x.rs", src).is_empty());
+        assert!(lint("crates/graph/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn error_hygiene_pragma_suppresses() {
+        let src = "fn f() {\n// xtask: allow(error-hygiene)\npanic!(\"documented contract\");\nx.unwrap();\n}\n";
+        let diags = lint("crates/distsim/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
     }
 
     #[test]

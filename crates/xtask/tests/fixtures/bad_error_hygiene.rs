@@ -1,0 +1,20 @@
+//! Known-bad fixture for the `error-hygiene` rule: unwrap/expect/panic in
+//! library code, with a `#[cfg(test)]` module that must stay exempt.
+
+fn lib_code(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    if a + b == 0 {
+        panic!("impossible");
+    }
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_freely() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -123,6 +123,26 @@ fn missing_docs_fixture_fires_at_exact_line() {
 }
 
 #[test]
+fn error_hygiene_fixture_fires_at_exact_lines() {
+    let diags = lint_fixture(
+        "bad_error_hygiene.rs",
+        "crates/distsim/src/fixture.rs",
+        &HotPathConfig::default(),
+    );
+    assert!(diags.iter().all(|d| d.rule == "error-hygiene"), "{diags:?}");
+    // `.unwrap()`, `.expect(`, `panic!` in the library fn; the `unwrap_or`
+    // at line 10 and the whole `#[cfg(test)]` module must NOT appear.
+    assert_eq!(lines(&diags, "error-hygiene"), vec![5, 6, 8]);
+    // The same source outside graph/distsim is out of scope.
+    assert!(lint_fixture(
+        "bad_error_hygiene.rs",
+        "crates/matching/src/fixture.rs",
+        &HotPathConfig::default()
+    )
+    .is_empty());
+}
+
+#[test]
 fn pragmas_suppress_every_listed_violation() {
     let diags = lint_fixture(
         "suppressed.rs",
