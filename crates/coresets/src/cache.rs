@@ -1,0 +1,203 @@
+//! Fingerprint-keyed per-machine coreset cache.
+//!
+//! The churn service re-coresets **only dirty machines** after a batch of
+//! updates; clean machines reuse the coreset they produced last round. The
+//! reuse is sound because a coreset build here is a pure function of
+//!
+//! 1. the protocol seed (per-machine randomness is pre-derived from
+//!    `(seed, machine)` via [`crate::streams::machine_rng`]),
+//! 2. the machine index, and
+//! 3. the piece's **edge content** — captured by the order-and-length
+//!    sensitive [`graph::fingerprint_edges`] fingerprint, which the churn
+//!    partition keeps in canonical sorted order so equal content implies
+//!    equal fingerprint.
+//!
+//! [`CoresetCacheKey`] bundles exactly those three inputs; a slot is reused
+//! only when all three match, so a stale coreset can never leak across a
+//! seed change, a machine-count change (the cache is sized per `k`), or an
+//! edge-content change on its machine.
+
+use std::fmt;
+
+/// The identity of one cached per-machine coreset build: a cached value is
+/// valid for exactly the builds that share all three fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoresetCacheKey {
+    /// The protocol seed the build's `machine_rng` stream was derived from.
+    pub seed: u64,
+    /// The machine index (also the slot index in [`CoresetCache`]).
+    pub machine: usize,
+    /// [`graph::fingerprint_edges`] of the machine's piece, in the canonical
+    /// sorted order the churn partition maintains.
+    pub piece_fingerprint: u64,
+}
+
+/// A `k`-slot coreset cache keyed by [`CoresetCacheKey`], with hit/miss
+/// accounting. One slot per machine: a machine's new build always replaces
+/// its previous one (there is never a reason to keep a stale fingerprint's
+/// coreset around).
+pub struct CoresetCache<T> {
+    slots: Vec<Option<(CoresetCacheKey, T)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T> CoresetCache<T> {
+    /// An empty cache with one slot per machine.
+    pub fn new(k: usize) -> Self {
+        let mut slots = Vec::with_capacity(k);
+        slots.resize_with(k, || None);
+        CoresetCache {
+            slots,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of machine slots.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots currently holding a value.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no slot holds a value.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Cache hits counted by [`lookup`](Self::lookup).
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses counted by [`lookup`](Self::lookup).
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The cached value for `key`, if `key.machine`'s slot holds exactly
+    /// this key. Counts a hit or a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.machine >= k`.
+    pub fn lookup(&mut self, key: &CoresetCacheKey) -> Option<&T> {
+        let slot = &self.slots[key.machine];
+        match slot {
+            Some((k, _)) if k == key => {
+                self.hits += 1;
+                // Re-borrow immutably; the match above proves it is Some.
+                self.slots[key.machine].as_ref().map(|(_, v)| v)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` for `key`, replacing whatever `key.machine`'s slot
+    /// held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.machine >= k`.
+    pub fn insert(&mut self, key: CoresetCacheKey, value: T) {
+        self.slots[key.machine] = Some((key, value));
+    }
+
+    /// The value in `machine`'s slot regardless of key (for composing over
+    /// "every machine currently has a coreset" after the service refreshed
+    /// the dirty ones). Does not count hits/misses.
+    pub fn slot(&self, machine: usize) -> Option<&T> {
+        self.slots[machine].as_ref().map(|(_, v)| v)
+    }
+
+    /// Clears every slot and the hit/miss counters.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+impl<T> fmt::Debug for CoresetCache<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoresetCache")
+            .field("k", &self.k())
+            .field("filled", &self.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::fingerprint_edges;
+    use graph::Edge;
+
+    fn key(seed: u64, machine: usize, fp: u64) -> CoresetCacheKey {
+        CoresetCacheKey {
+            seed,
+            machine,
+            piece_fingerprint: fp,
+        }
+    }
+
+    #[test]
+    fn lookup_hits_only_on_the_exact_key() {
+        let mut cache: CoresetCache<&'static str> = CoresetCache::new(3);
+        assert!(cache.is_empty());
+        cache.insert(key(7, 1, 42), "m1@42");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key(7, 1, 42)), Some(&"m1@42"));
+        // Any differing field misses: fingerprint, seed, or machine.
+        assert_eq!(cache.lookup(&key(7, 1, 43)), None);
+        assert_eq!(cache.lookup(&key(8, 1, 42)), None);
+        assert_eq!(cache.lookup(&key(7, 2, 42)), None);
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn insert_replaces_the_machine_slot() {
+        let mut cache: CoresetCache<u32> = CoresetCache::new(2);
+        cache.insert(key(1, 0, 10), 100);
+        cache.insert(key(1, 0, 11), 101);
+        assert_eq!(cache.len(), 1, "one slot per machine");
+        assert_eq!(cache.lookup(&key(1, 0, 10)), None, "old build evicted");
+        assert_eq!(cache.lookup(&key(1, 0, 11)), Some(&101));
+        assert_eq!(cache.slot(0), Some(&101));
+        assert_eq!(cache.slot(1), None);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    /// The key's fingerprint component really distinguishes edge content:
+    /// same multiset in a different order, or a prefix, fingerprint apart.
+    #[test]
+    fn piece_fingerprints_separate_edge_contents() {
+        let a = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3)];
+        let b = [Edge::new(1, 2), Edge::new(0, 1), Edge::new(2, 3)];
+        let fp_a = fingerprint_edges(&a);
+        assert_ne!(fp_a, fingerprint_edges(&b), "order-sensitive");
+        assert_ne!(fp_a, fingerprint_edges(&a[..2]), "length-sensitive");
+        assert_eq!(fp_a, fingerprint_edges(&a), "deterministic");
+
+        let mut cache: CoresetCache<usize> = CoresetCache::new(1);
+        cache.insert(key(0, 0, fp_a), 7);
+        assert_eq!(cache.lookup(&key(0, 0, fingerprint_edges(&a))), Some(&7));
+        assert_eq!(cache.lookup(&key(0, 0, fingerprint_edges(&b))), None);
+    }
+}

@@ -64,6 +64,20 @@ pub fn solve_composed_matching(
     coresets: &[Graph],
     algorithm: MaximumMatchingAlgorithm,
 ) -> Matching {
+    let refs: Vec<&Graph> = coresets.iter().collect();
+    solve_composed_matching_refs(&refs, algorithm)
+}
+
+/// [`solve_composed_matching`] over borrowed coresets.
+///
+/// The churn service's coordinator composes a mix of freshly rebuilt
+/// coresets and cached ones living in its [`crate::cache::CoresetCache`]
+/// slots; this variant lets it hand over `&[&Graph]` without cloning the
+/// cached pieces into a contiguous owned vector.
+pub fn solve_composed_matching_refs(
+    coresets: &[&Graph],
+    algorithm: MaximumMatchingAlgorithm,
+) -> Matching {
     assert!(
         !coresets.is_empty(),
         "composition of zero coresets is undefined"
@@ -89,7 +103,7 @@ pub fn solve_composed_matching(
 /// one sequential argmax and a **single** edge-list clone of the winner —
 /// the old single-pass loop cloned every improving candidate, including
 /// ones that immediately lost to a later machine.
-fn best_piece_matching(coresets: &[Graph]) -> Option<Matching> {
+fn best_piece_matching(coresets: &[&Graph]) -> Option<Matching> {
     let stats: Vec<(usize, bool)> = coresets
         .par_iter()
         .map(|c| (c.m(), edges_form_matching(c.edges())))
@@ -120,6 +134,15 @@ fn best_piece_matching(coresets: &[Graph]) -> Option<Matching> {
 /// residuals actually touch and skips it entirely when the residual union is
 /// edgeless; the greedy scan itself is order-defined and stays sequential.
 pub fn compose_vertex_cover(outputs: &[VcCoresetOutput]) -> VertexCover {
+    let refs: Vec<&VcCoresetOutput> = outputs.iter().collect();
+    compose_vertex_cover_refs(&refs)
+}
+
+/// [`compose_vertex_cover`] over borrowed coreset outputs — the borrowed
+/// counterpart the churn service's coordinator uses to compose cached and
+/// freshly rebuilt pieces without cloning (see
+/// [`solve_composed_matching_refs`]).
+pub fn compose_vertex_cover_refs(outputs: &[&VcCoresetOutput]) -> VertexCover {
     if outputs.is_empty() {
         return VertexCover::new();
     }
@@ -147,7 +170,7 @@ pub fn compose_vertex_cover(outputs: &[VcCoresetOutput]) -> VertexCover {
 /// declared `n` — output-invariant, because the greedy scan only ever flags
 /// endpoints of scanned edges — and a zero edge total lets the caller skip
 /// the scan (and its workspace warm-up) outright.
-fn residual_slice_stats(outputs: &[VcCoresetOutput]) -> (usize, usize) {
+fn residual_slice_stats(outputs: &[&VcCoresetOutput]) -> (usize, usize) {
     let per_slice: Vec<(usize, usize)> = outputs
         .par_iter()
         .map(|o| {
@@ -283,16 +306,16 @@ mod tests {
         let c = Graph::from_pairs(12, vec![(0, 2), (1, 3), (4, 6)]).unwrap();
         // Bigger than all of them but NOT a matching: must be skipped.
         let not_matching = Graph::from_pairs(12, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
-        let warm = best_piece_matching(&[a.clone(), b.clone(), c.clone(), not_matching.clone()])
-            .expect("three valid candidates");
+        let warm =
+            best_piece_matching(&[&a, &b, &c, &not_matching]).expect("three valid candidates");
         assert_eq!(warm.edges(), b.edges(), "first maximal-size piece wins");
         // Order flipped: `c` now precedes `b`, so `c` takes the tie.
-        let warm = best_piece_matching(&[a.clone(), c.clone(), b, not_matching.clone()])
-            .expect("three valid candidates");
+        let warm =
+            best_piece_matching(&[&a, &c, &b, &not_matching]).expect("three valid candidates");
         assert_eq!(warm.edges(), c.edges());
         // Only invalid candidates (or empty ones) → no warm start.
-        assert!(best_piece_matching(&[not_matching]).is_none());
-        assert!(best_piece_matching(&[Graph::empty(4)]).is_none());
+        assert!(best_piece_matching(&[&not_matching]).is_none());
+        assert!(best_piece_matching(&[&Graph::empty(4)]).is_none());
         assert!(best_piece_matching(&[]).is_none());
     }
 

@@ -24,6 +24,8 @@
 //!   analysis of Theorem 1 (Lemma 3.1/3.2), exposed so experiment E10 can
 //!   trace its per-step growth.
 //! * [`compose`] — coordinator-side composition: union the coresets and solve.
+//! * [`cache`] — the fingerprint-keyed per-machine coreset cache the churn
+//!   service uses to rebuild only dirty machines' coresets.
 //! * [`capped`] — size-capped coreset wrappers for the lower-bound
 //!   experiments (Theorems 3 and 4).
 //! * [`weighted`] — the Crouch–Stubbs weighted-matching extension.
@@ -59,6 +61,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod capped;
 pub mod compose;
 pub mod greedy_match;
@@ -70,8 +73,12 @@ pub mod tree;
 pub mod vc_coreset;
 pub mod weighted;
 
+pub use cache::{CoresetCache, CoresetCacheKey};
 pub use capped::{cap_matching_coreset, cap_vc_coreset, CappedMatchingCoreset};
-pub use compose::{compose_matching, compose_vertex_cover, solve_composed_matching};
+pub use compose::{
+    compose_matching, compose_vertex_cover, compose_vertex_cover_refs, solve_composed_matching,
+    solve_composed_matching_refs,
+};
 pub use greedy_match::{greedy_match, GreedyMatchTrace};
 pub use matching_coreset::{
     AvoidingMaximalMatchingCoreset, MatchingCoresetBuilder, MaximalMatchingCoreset,

@@ -20,6 +20,10 @@
 //!   (the prior state of the art the paper compares rounds against).
 //! * [`report`] — serde-serialisable run reports consumed by the experiment
 //!   binaries in the `bench` crate.
+//! * [`service`] — the edge-churn serving driver: batched updates through a
+//!   [`graph::ChurnPartition`] overlay, instant incremental answers from a
+//!   [`dynamic::DynamicCover`], and dirty-piece-only coreset rebuilds through
+//!   fingerprint-keyed caches (experiment E18).
 //! * [`faults`], [`checkpoint`], [`error`] — the fault-tolerant runtime:
 //!   deterministic fault injection keyed by `(fault_seed, site)`, retry by
 //!   replaying per-machine RNG streams, degraded composition over survivors,
@@ -36,6 +40,7 @@ pub mod faults;
 pub mod mapreduce;
 pub mod protocols;
 pub mod report;
+pub mod service;
 
 pub use checkpoint::{ArenaCheckpoint, CheckpointItem, CheckpointKey};
 pub use comm::{CommunicationCost, CostModel};
@@ -48,3 +53,4 @@ pub use faults::{
 };
 pub use mapreduce::{MapReduceConfig, MapReduceOutcome, MapReduceSimulator};
 pub use report::{MatchingProtocolReport, VertexCoverProtocolReport};
+pub use service::{naive_full_round, BatchOutcome, GraphService, GraphServiceConfig};

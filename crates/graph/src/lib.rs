@@ -19,6 +19,10 @@
 //!   the model of the paper, plus adversarial partitionings used as negative
 //!   controls. [`PartitionedGraph`] stores the partition as a single
 //!   machine-sorted edge arena whose pieces are zero-copy views.
+//! * [`churn`] — the mutable overlay over the arena for edge-churn serving:
+//!   churn-stable per-edge hash placement ([`edge_machine`]), per-machine
+//!   insert/delete journals with threshold compaction, and piece fingerprints
+//!   that make clean-piece coreset reuse provably sound.
 //! * [`arena_file`] — a versioned binary on-disk format for partitioned edge
 //!   arenas plus [`SegmentLoader`], which streams one machine segment at a
 //!   time so 10⁷–10⁸-edge protocol runs never hold the whole arena resident.
@@ -40,6 +44,7 @@
 
 pub mod arena_file;
 pub mod bipartite;
+pub mod churn;
 pub mod compact;
 pub mod csr;
 pub mod edge;
@@ -58,6 +63,7 @@ pub use arena_file::{
     SegmentLoader, SegmentRetryPolicy,
 };
 pub use bipartite::BipartiteGraph;
+pub use churn::{edge_machine, fingerprint_edges, ChurnOp, ChurnPartition};
 pub use compact::VertexCompactor;
 pub use csr::Csr;
 pub use edge::{Edge, VertexId, WeightedEdge};
@@ -74,6 +80,7 @@ pub mod prelude {
         SegmentLoader, SegmentRetryPolicy,
     };
     pub use crate::bipartite::BipartiteGraph;
+    pub use crate::churn::{edge_machine, fingerprint_edges, ChurnOp, ChurnPartition};
     pub use crate::csr::Csr;
     pub use crate::edge::{Edge, VertexId, WeightedEdge};
     pub use crate::error::GraphError;

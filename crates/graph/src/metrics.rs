@@ -123,6 +123,95 @@ pub fn reset_peak_resident_edges() {
     PEAK_RESIDENT_EDGES.store(RESIDENT_EDGES.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// A point-in-time reading of every process-wide counter.
+///
+/// Snapshots turn the monotone counters into *scoped deltas*: subtract two
+/// snapshots instead of resetting the globals, so independent measurement
+/// scopes never clobber each other's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Reading of [`piece_edges_materialized`].
+    pub piece_edges_materialized: u64,
+    /// Reading of [`vc_peel_scratch_elems`].
+    pub vc_peel_scratch_elems: u64,
+    /// Reading of [`resident_edges`].
+    pub resident_edges: u64,
+    /// Reading of [`peak_resident_edges`].
+    pub peak_resident_edges: u64,
+}
+
+impl MetricsSnapshot {
+    /// Reads all counters now.
+    pub fn take() -> Self {
+        MetricsSnapshot {
+            piece_edges_materialized: piece_edges_materialized(),
+            vc_peel_scratch_elems: vc_peel_scratch_elems(),
+            resident_edges: resident_edges(),
+            peak_resident_edges: peak_resident_edges(),
+        }
+    }
+}
+
+/// A scoped counter guard: snapshot at entry, read per-scope deltas on
+/// demand — no manual reset bookkeeping.
+///
+/// The monotone counters ([`piece_edges_materialized`],
+/// [`vc_peel_scratch_elems`]) are handled purely by subtraction, so any
+/// number of scopes may overlap (each sees its own delta, plus whatever
+/// concurrent scopes added — the counters are process-wide by design).
+///
+/// The one counter that *cannot* be scoped by subtraction is the high-water
+/// mark: before this type, `reset_peak_resident_edges` was the only counter
+/// a measurement had to remember to reset, and a forgotten reset silently
+/// reported a stale peak. [`MetricsScope::enter`] performs that reset
+/// itself, so [`MetricsScope::peak_resident_edges`] is the peak reached
+/// *since entry* — with the documented caveat that the peak (unlike the
+/// deltas) is only meaningful when measurement scopes do not overlap.
+#[derive(Debug)]
+pub struct MetricsScope {
+    start: MetricsSnapshot,
+}
+
+impl MetricsScope {
+    /// Opens a scope: resets the resident-edge high-water mark to the
+    /// current resident count and snapshots every counter.
+    pub fn enter() -> Self {
+        reset_peak_resident_edges();
+        MetricsScope {
+            start: MetricsSnapshot::take(),
+        }
+    }
+
+    /// The snapshot taken at entry.
+    #[inline]
+    pub fn start(&self) -> MetricsSnapshot {
+        self.start
+    }
+
+    /// Edges materialized into owned per-machine graphs since entry.
+    pub fn piece_edges_materialized(&self) -> u64 {
+        piece_edges_materialized().saturating_sub(self.start.piece_edges_materialized)
+    }
+
+    /// Legacy peeling scratch elements allocated since entry.
+    pub fn vc_peel_scratch_elems(&self) -> u64 {
+        vc_peel_scratch_elems().saturating_sub(self.start.vc_peel_scratch_elems)
+    }
+
+    /// Net change in resident edge records since entry (negative when the
+    /// scope released more than it acquired).
+    pub fn resident_edges_delta(&self) -> i64 {
+        resident_edges() as i64 - self.start.resident_edges as i64
+    }
+
+    /// High-water mark of resident edges since entry (the scope reset the
+    /// mark to the then-current resident count at entry). Only meaningful
+    /// when no other measurement scope overlaps this one.
+    pub fn peak_resident_edges(&self) -> u64 {
+        peak_resident_edges()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +247,41 @@ mod tests {
         record_resident_edges_released(1000);
         // The peak never goes down on release.
         assert!(peak_resident_edges() >= peak_mid);
+    }
+
+    #[test]
+    fn scope_reports_deltas_without_resetting_globals() {
+        let global_before = piece_edges_materialized();
+        let scope = MetricsScope::enter();
+        record_piece_edges_materialized(11);
+        record_vc_peel_scratch(4);
+        // Scoped deltas move by at least this test's contributions (other
+        // concurrent tests can only add).
+        assert!(scope.piece_edges_materialized() >= 11);
+        assert!(scope.vc_peel_scratch_elems() >= 4);
+        // The globals were never reset: monotone from the caller's view.
+        assert!(piece_edges_materialized() >= global_before + 11);
+        // A nested scope starts from the current reading, so it does not see
+        // the outer scope's earlier contributions.
+        let inner = MetricsScope::enter();
+        record_piece_edges_materialized(2);
+        assert!(inner.piece_edges_materialized() >= 2);
+        assert!(inner.start().piece_edges_materialized >= global_before + 11);
+    }
+
+    #[test]
+    fn scope_resets_the_peak_on_entry() {
+        record_resident_edges_acquired(500);
+        record_resident_edges_released(500);
+        let scope = MetricsScope::enter();
+        record_resident_edges_acquired(50);
+        // The peak observed by the scope includes the 50 acquired inside it;
+        // process-wide concurrency can only push it higher.
+        assert!(scope.peak_resident_edges() >= 50);
+        record_resident_edges_released(50);
+        // Net delta from this test's own acquire/release pair is zero, but
+        // other tests may acquire concurrently, so only bound it below.
+        assert!(scope.resident_edges_delta() >= -(500 + 50));
     }
 
     #[test]

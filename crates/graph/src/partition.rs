@@ -125,6 +125,27 @@ impl PartitionedGraph {
         Self::new(g, k, PartitionStrategy::Random, rng)
     }
 
+    /// Partitions `g` under the **churn-stable** per-edge hash placement of
+    /// [`crate::churn::edge_machine`]: each edge's machine is a salted hash
+    /// of `(seed, edge)` — uniform and independent per edge, the paper's
+    /// model — but reproducible from the edge's identity alone, so churn on
+    /// other edges never moves it. This is the placement the churn overlay
+    /// ([`crate::churn::ChurnPartition`]) and its from-scratch baselines
+    /// share; the strategy reports [`PartitionStrategy::Random`] because the
+    /// per-edge distribution is the same random model.
+    pub fn by_edge_hash(g: &Graph, k: usize, seed: u64) -> Result<Self, GraphError> {
+        if k == 0 {
+            return Err(GraphError::InvalidMachineCount { k });
+        }
+        let (edges, offsets) = crate::churn::hash_arena(g, k, seed);
+        Ok(PartitionedGraph {
+            n: g.n(),
+            strategy: PartitionStrategy::Random,
+            edges,
+            offsets,
+        })
+    }
+
     /// Number of vertices (shared by every piece).
     #[inline]
     pub fn n(&self) -> usize {

@@ -11,8 +11,8 @@
 //! | `nondeterminism` | everywhere except `crates/bench` | no `thread_rng` / `from_entropy` / `SystemTime` / `Instant::now` — ambient entropy and wall-clock must never reach an answer |
 //! | `env-threads` | everywhere walked | only `vendor/rayon` may read `RC_THREADS` / `RAYON_NUM_THREADS` — one resolution point keeps thread-count semantics single-sourced |
 //! | `hot-path-alloc` | functions in `hotpaths.toml` | no `vec![` / `Vec::new` / `.to_vec()` / `.clone()` / `collect::<Vec` in engine inner loops |
-//! | `missing-docs` | `graph` / `coresets` / `distsim` | every `pub fn` carries a doc comment |
-//! | `error-hygiene` | `graph` / `distsim` | no `.unwrap()` / `.expect(` / `panic!` in library code — fallible paths surface typed `GraphError`/protocol errors so the fault-tolerant runtime can retry or degrade instead of aborting |
+//! | `missing-docs` | `graph` / `coresets` / `distsim` / `dynamic` | every `pub fn` carries a doc comment |
+//! | `error-hygiene` | `graph` / `distsim` / `dynamic` | no `.unwrap()` / `.expect(` / `panic!` in library code — fallible paths surface typed `GraphError`/protocol errors so the fault-tolerant runtime can retry or degrade instead of aborting |
 //!
 //! Test code (`#[cfg(test)]` modules, `tests/` directories) is exempt from
 //! `hash-collections`, `hot-path-alloc`, `missing-docs` and `error-hygiene`:
@@ -72,15 +72,25 @@ pub fn classify(rel_path: &str) -> FileScope {
     let in_crate_src = |krate: &str| rel_path.starts_with(&format!("crates/{krate}/src/"));
     let protocol = !test_file
         && (rel_path.starts_with("src/")
-            || ["graph", "matching", "vertexcover", "coresets", "distsim"]
-                .iter()
-                .any(|k| in_crate_src(k)));
+            || [
+                "graph",
+                "matching",
+                "vertexcover",
+                "coresets",
+                "distsim",
+                "dynamic",
+            ]
+            .iter()
+            .any(|k| in_crate_src(k)));
     let no_ambient_entropy = !rel_path.starts_with("crates/bench/");
     let doc_coverage = !test_file
-        && ["graph", "coresets", "distsim"]
+        && ["graph", "coresets", "distsim", "dynamic"]
             .iter()
             .any(|k| in_crate_src(k));
-    let error_hygiene = !test_file && ["graph", "distsim"].iter().any(|k| in_crate_src(k));
+    let error_hygiene = !test_file
+        && ["graph", "distsim", "dynamic"]
+            .iter()
+            .any(|k| in_crate_src(k));
     FileScope {
         protocol,
         no_ambient_entropy,
@@ -251,7 +261,7 @@ pub fn lint_tokens(rel_path: &str, lexed: &LexedFile, hotpaths: &HotPathConfig) 
                     "error-hygiene",
                     line,
                     format!(
-                        "`{what}` in graph/distsim library code: fallible paths must \
+                        "`{what}` in graph/distsim/dynamic library code: fallible paths must \
                          surface typed errors so the fault-tolerant runtime can retry \
                          or degrade; justify a documented invariant with \
                          `// xtask: allow(error-hygiene)`"
@@ -295,7 +305,7 @@ pub fn lint_tokens(rel_path: &str, lexed: &LexedFile, hotpaths: &HotPathConfig) 
                     lexed,
                     "missing-docs",
                     t.line,
-                    format!("`pub fn {name}` has no doc comment (/// required in graph/coresets/distsim)"),
+                    format!("`pub fn {name}` has no doc comment (/// required in graph/coresets/distsim/dynamic)"),
                 );
             }
         }
@@ -468,6 +478,10 @@ mod tests {
         assert!(!classify("crates/bench/src/bin/exp.rs").no_ambient_entropy);
         assert!(classify("crates/distsim/src/comm.rs").doc_coverage);
         assert!(!classify("crates/matching/src/engine.rs").doc_coverage);
+        assert!(classify("crates/dynamic/src/matcher.rs").protocol);
+        assert!(classify("crates/dynamic/src/matcher.rs").doc_coverage);
+        assert!(classify("crates/dynamic/src/cover.rs").error_hygiene);
+        assert!(!classify("crates/dynamic/tests/dynamic_vs_batch.rs").protocol);
     }
 
     #[test]

@@ -238,6 +238,94 @@ fn tree_mode_fixed_seed_regression() {
     );
 }
 
+/// The edge-churn service, pinned: for a fixed seed a `GraphService` run —
+/// batched inserts/deletes through the churn overlay, dirty-piece-only
+/// coreset rebuilds, cached composition after every batch — produces a
+/// complete answer stream (composed matching edges, composed cover vertices,
+/// incremental sizes) that equals a from-scratch `naive_full_round` of the
+/// current graph after **every** batch, is bit-identical at 1 / 4 worker
+/// threads and under two forced scheduler-fuzz seeds, and matches the
+/// recorded regression values.
+#[test]
+fn churn_service_fixed_seed_regression() {
+    use distsim::{naive_full_round, GraphService, GraphServiceConfig};
+    use graph::{ChurnOp, Edge};
+    use rand::Rng;
+    use rayon::sched_fuzz::with_fuzz;
+
+    const SEED: u64 = 18;
+    const N: usize = 600;
+    const K: usize = 8;
+    let g = workload(N, 0.02, SEED);
+
+    let run_once = || {
+        let cfg = GraphServiceConfig {
+            k: K,
+            seed: SEED,
+            eps: 0.5,
+        };
+        let mut svc = GraphService::new(&g, cfg).expect("service");
+        let mut acc = 0u64;
+        for batch in 0..4u64 {
+            // Deterministic churn: half fresh inserts, half deletes of
+            // currently present edges, derived from (SEED, batch) only.
+            let current = svc.current_graph();
+            let edges = current.edges();
+            let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ (0xC0DE + batch));
+            let mut ops = Vec::new();
+            while ops.len() < 12 {
+                if !edges.is_empty() && rng.gen_bool(0.5) {
+                    ops.push(ChurnOp::Delete(edges[rng.gen_range(0..edges.len())]));
+                } else {
+                    let u = rng.gen_range(0..N as u32);
+                    let v = rng.gen_range(0..N as u32);
+                    if u != v {
+                        ops.push(ChurnOp::Insert(Edge::new(u, v)));
+                    }
+                }
+            }
+            let outcome = svc.apply_batch(&ops).expect("batch");
+
+            // Cached composition must equal the from-scratch batch round.
+            let now = svc.current_graph();
+            let (naive_m, naive_c) = naive_full_round(&now, K, SEED).expect("naive");
+            assert_eq!(svc.matching(), &naive_m, "batch {batch}: matching");
+            assert_eq!(svc.cover(), &naive_c, "batch {batch}: cover");
+
+            acc ^= graph::fingerprint_edges(svc.matching().edges());
+            for v in svc.cover().sorted_vertices() {
+                acc = acc.wrapping_mul(31).wrapping_add(v as u64);
+            }
+            acc = acc
+                .wrapping_mul(31)
+                .wrapping_add(outcome.approx_matching_size as u64)
+                .wrapping_mul(31)
+                .wrapping_add(outcome.approx_cover_size as u64);
+        }
+        (acc, svc.matching().len(), svc.cover().len())
+    };
+
+    let reference = with_threads(1, run_once);
+    assert_eq!(
+        with_threads(4, run_once),
+        reference,
+        "1 vs 4 worker threads"
+    );
+    for fuzz in [21u64, 89] {
+        let fuzzed = with_fuzz(Some(fuzz), || with_threads(4, run_once));
+        assert_eq!(fuzzed, reference, "fuzz seed {fuzz}");
+    }
+
+    // Fixed-seed regression: pin the exact answer stream.
+    let (fingerprint, matching_len, cover_len) = reference;
+    assert_eq!(matching_len, 299, "pinned composed matching size");
+    assert_eq!(cover_len, 556, "pinned composed cover size");
+    assert_eq!(
+        fingerprint, 0xbf4d_5f51_d3c5_3bf0,
+        "pinned answer-stream fingerprint"
+    );
+}
+
 /// Different seeds still change the answer (the determinism above is not the
 /// degenerate "everything collapsed to one stream" kind).
 #[test]
